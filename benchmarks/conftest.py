@@ -1,0 +1,61 @@
+"""Shared configuration for the benchmark suite.
+
+Each module regenerates one table or figure of the paper (see DESIGN.md §3
+for the experiment index).  Benchmarks print their result tables — run with
+``pytest benchmarks/ --benchmark-only -s`` to see them; EXPERIMENTS.md holds
+a captured reference run annotated against the paper's numbers.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def report(text: str, name: str) -> None:
+    """Emit a result table so it survives pytest's output capture.
+
+    Written straight to the real stdout (so ``pytest benchmarks/`` piped to
+    a file keeps the tables even without ``-s``) and persisted under
+    ``benchmarks/results/<name>.txt`` for EXPERIMENTS.md.
+    """
+    sys.__stdout__.write("\n" + text + "\n")
+    sys.__stdout__.flush()
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    """Print every experiment table after the run.
+
+    pytest's default fd-level capture swallows even ``sys.__stdout__``
+    writes from inside tests; the terminal summary goes straight to the
+    real terminal, so ``pytest benchmarks/ --benchmark-only | tee out.txt``
+    keeps the tables without needing ``-s``.
+    """
+    if not RESULTS_DIR.is_dir():
+        return
+    terminalreporter.section("experiment tables (also in benchmarks/results/)")
+    for path in sorted(RESULTS_DIR.glob("*.txt")):
+        terminalreporter.write_line("")
+        terminalreporter.write_line(path.read_text(encoding="utf-8").rstrip())
+
+
+def run_once(benchmark, fn, **kwargs):
+    """Time one full driver execution under pytest-benchmark.
+
+    The experiment drivers are end-to-end runs (minutes of simulated
+    cluster work), so a single round is the meaningful unit — variance
+    across rounds would only measure Python allocator noise.
+    """
+    return benchmark.pedantic(fn, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture(autouse=True)
+def _print_spacer():
+    print()
+    yield

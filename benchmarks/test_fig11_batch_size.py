@@ -1,0 +1,34 @@
+"""Figure 11 — Test of batch size: DOIMIS* with b in {1, 10, 100, 1000}.
+
+Paper shapes: response time and communication cost both fall monotonically
+(modulo noise) as the batch grows, and the final independent set is
+identical for every b (Theorem 6.1, asserted inside the driver).
+"""
+
+from repro.bench.harness import fig11_batch_size
+from repro.bench.reporting import format_table
+
+from conftest import report, run_once
+
+COLUMNS = [
+    "dataset", "batch_size", "response_time_s", "communication_mb",
+    "supersteps", "active_vertices",
+]
+
+BATCH_SIZES = (1, 10, 100, 1000)
+
+
+def test_fig11_batch_size(benchmark):
+    rows = run_once(
+        benchmark, fig11_batch_size, tag="TW", k=500, batch_sizes=BATCH_SIZES
+    )
+    report(format_table(rows, COLUMNS, "Fig 11 — batch size sweep (TW)"), "fig11_batch_size")
+
+    # communication and logical work decrease from b=1 to the largest batch
+    first, last = rows[0], rows[-1]
+    assert last["communication_mb"] < first["communication_mb"]
+    assert last["supersteps"] < first["supersteps"]
+    assert last["active_vertices"] <= first["active_vertices"]
+    # monotone non-increasing supersteps across the sweep
+    steps = [r["supersteps"] for r in rows]
+    assert all(a >= b for a, b in zip(steps, steps[1:]))

@@ -1,0 +1,48 @@
+"""Figure 12 — Scalability: varying the number of machines |W|.
+
+DOIMIS* over the 2k-update stream (b matching the paper's 10000-scaled) on
+TW and UK07, with |W| in {2, 4, 6, 8, 10}.
+
+Paper shapes:
+
+- response time falls as machines are added (sub-linearly — the paper's
+  |W|=10 is about 2x faster than |W|=2 on TW);
+- communication cost *rises* with |W| (the paper reports ~8x from 2 to 10
+  machines on TW) because more neighbours become remote.
+
+Response time here is the BSP makespan model (slowest-worker compute + wire
++ barrier per superstep): a one-process simulation cannot speed up its own
+wall clock by pretending to have more workers — see DESIGN.md §4.
+"""
+
+from repro.bench.harness import fig12_machines
+from repro.bench.reporting import format_table
+
+from conftest import report, run_once
+
+COLUMNS = [
+    "dataset", "workers", "response_time_s", "communication_mb",
+    "compute_work", "wall_time_s",
+]
+
+WORKERS = (2, 4, 6, 8, 10)
+
+
+def test_fig12_machines(benchmark):
+    rows = run_once(
+        benchmark, fig12_machines, tags=("TW", "UK07"), k=400,
+        worker_counts=WORKERS, batch_size=100,
+    )
+    report(format_table(rows, COLUMNS, "Fig 12 — varying |W|"), "fig12_machines")
+
+    for tag in ("TW", "UK07"):
+        series = [r for r in rows if r["dataset"] == tag]
+        times = [r["response_time_s"] for r in series]
+        comms = [r["communication_mb"] for r in series]
+        # (a) monotone speedup from the smallest to the largest cluster
+        assert times[-1] < times[0], tag
+        # speedup is sub-linear (communication eats into it)
+        assert times[0] / times[-1] < WORKERS[-1] / WORKERS[0], tag
+        # (b) communication grows substantially with the cluster
+        assert comms[-1] > 2 * comms[0], tag
+        assert all(a <= b * 1.05 for a, b in zip(comms, comms[1:])), tag

@@ -1,0 +1,37 @@
+"""Figure 13 — Scalability: varying the number of updates |U|.
+
+DOIMIS* over mixed update streams of growing length (the paper sweeps
+200k..1M at b=1000; scaled here), on TW and UK07.
+
+Paper shapes: response time and communication cost grow steadily (roughly
+linearly) with the stream length.
+"""
+
+from repro.bench.harness import fig13_updates
+from repro.bench.reporting import format_table
+
+from conftest import report, run_once
+
+COLUMNS = [
+    "dataset", "updates", "response_time_s", "communication_mb",
+    "supersteps", "active_vertices",
+]
+
+COUNTS = (400, 800, 1200, 1600, 2000)
+
+
+def test_fig13_updates(benchmark):
+    rows = run_once(
+        benchmark, fig13_updates, tags=("TW", "UK07"),
+        update_counts=COUNTS, batch_size=100,
+    )
+    report(format_table(rows, COLUMNS, "Fig 13 — varying |U|"), "fig13_updates")
+
+    for tag in ("TW", "UK07"):
+        series = [r for r in rows if r["dataset"] == tag]
+        comms = [r["communication_mb"] for r in series]
+        actives = [r["active_vertices"] for r in series]
+        assert all(a < b for a, b in zip(comms, comms[1:])), tag
+        assert all(a <= b for a, b in zip(actives, actives[1:])), tag
+        # roughly linear: doubling |U| shouldn't much more than double cost
+        assert comms[-1] / comms[0] < 2 * (COUNTS[-1] / COUNTS[0]), tag

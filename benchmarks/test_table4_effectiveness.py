@@ -1,0 +1,55 @@
+"""Table IV — Test of effectiveness: independent-set size comparison.
+
+DOIMIS (distributed, after the paper's delete-k-reinsert workload) against
+the centralized comparators ARW / DGTwo / DTSwap / LazyDTSwap under the
+scaled single-machine memory budget.
+
+Paper shapes:
+
+- ``prec`` (DOIMIS size / comparator size) stays high on every dataset the
+  comparator can run (the paper averages 98.2% on its real graphs; on the
+  small dense stand-ins we assert >= 85% per cell — see EXPERIMENTS.md);
+- the OOM pattern: DGTwo fails from SK-2005 on (except FR), DTSwap from
+  UK-2006 on, ARW and LazyDTSwap from UK-2014 on;
+- DOIMIS finishes everywhere.
+"""
+
+from repro.bench.harness import table4_effectiveness
+from repro.bench.reporting import format_table
+
+from conftest import report, run_once
+
+COLUMNS = [
+    "dataset", "DOIMIS",
+    "ARW", "prec_ARW", "DGTwo", "prec_DGTwo",
+    "DTSwap", "prec_DTSwap", "LazyDTSwap", "prec_LazyDTSwap",
+]
+
+EXPECTED_OOM = {
+    "ARW": {"UK14", "CW", "GSH"},
+    "DGTwo": {"SK05", "UK06", "UK07", "UK14", "CW", "GSH"},
+    "DTSwap": {"UK06", "UK07", "UK14", "CW", "GSH"},
+    "LazyDTSwap": {"UK14", "CW", "GSH"},
+}
+
+
+def test_table4_effectiveness(benchmark):
+    rows = run_once(benchmark, table4_effectiveness, k=150, batch_size=100)
+    report(format_table(rows, COLUMNS, "Table IV — set size vs centralized"), "table4_effectiveness")
+
+    precs = []
+    for row in rows:
+        tag = row["dataset"]
+        assert isinstance(row["DOIMIS"], int), tag
+        for name, oom_tags in EXPECTED_OOM.items():
+            if tag in oom_tags:
+                assert row[name] == "OOM", (tag, name)
+            else:
+                assert isinstance(row[name], int), (tag, name)
+                prec = row[f"prec_{name}"]
+                assert prec >= 0.85, (tag, name, prec)
+                precs.append(prec)
+    # aggregate quality: the paper's AVG row analogue
+    avg = sum(precs) / len(precs)
+    print(f"average prec over runnable cells: {avg:.4f}")
+    assert avg >= 0.90

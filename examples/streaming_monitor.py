@@ -1,0 +1,90 @@
+"""Streaming maintenance with windowed membership alerts.
+
+Run:  python examples/streaming_monitor.py
+
+Feeds a timestamped edge-event stream through a
+:class:`~repro.stream.StreamingSession`: events buffer into windows (by
+count *and* by time), each flush applies one DOIMIS* batch, and a callback
+receives exactly which vertices entered/left the maintained set — the
+pattern an alerting or cache-invalidation consumer wants.
+
+Demonstrates the Fig. 11 trade-off live: the same stream with small vs
+large windows, same final set, very different superstep/communication cost.
+"""
+
+import random
+
+from repro import MISMaintainer
+from repro.graph.generators import chung_lu
+from repro.graph.updates import EdgeDeletion, EdgeInsertion
+from repro.stream import StreamingSession
+
+
+def make_stream(graph, events=600, seed=5):
+    """A timestamped mixed stream (Poisson-ish arrivals)."""
+    rng = random.Random(seed)
+    scratch = graph.copy()
+    vertices = scratch.sorted_vertices()
+    stream, clock = [], 0.0
+    while len(stream) < events:
+        clock += rng.expovariate(10.0)  # ~10 events per time unit
+        if rng.random() < 0.5 and scratch.num_edges:
+            u, v = rng.choice(scratch.sorted_edges())
+            scratch.remove_edge(u, v)
+            stream.append((EdgeDeletion(u, v), clock))
+        else:
+            u, v = rng.choice(vertices), rng.choice(vertices)
+            if u == v or scratch.has_edge(u, v):
+                continue
+            scratch.add_edge(u, v)
+            stream.append((EdgeInsertion(u, v), clock))
+    return stream
+
+
+def run_session(graph, stream, window_size, window_interval=None, verbose=False):
+    def alert(report):
+        if verbose and report.churn:
+            entered = sorted(report.entered)[:4]
+            left = sorted(report.left)[:4]
+            print(
+                f"  window {report.index:>3} (t={report.started_at:.2f}): "
+                f"+{len(report.entered)} {entered} / -{len(report.left)} {left}"
+            )
+
+    session = StreamingSession(
+        MISMaintainer(graph.copy(), num_workers=8),
+        window_size=window_size,
+        window_interval=window_interval,
+        on_window=alert,
+    )
+    session.offer_many([op for op, _ in stream], [ts for _, ts in stream])
+    session.close()
+    return session
+
+
+def main() -> None:
+    graph = chung_lu(600, avg_degree=8.0, seed=9)
+    stream = make_stream(graph)
+    print(f"graph: {graph}; stream: {len(stream)} timestamped events\n")
+
+    print("fine windows (size 10, interval 1.0 time units):")
+    fine = run_session(graph, stream, window_size=10, window_interval=1.0,
+                       verbose=True)
+
+    print("\ncoarse windows (size 200):")
+    coarse = run_session(graph, stream, window_size=200)
+
+    assert fine.independent_set() == coarse.independent_set()
+    print("\nsame final set either way (order independence); costs differ:")
+    for name, session in (("fine", fine), ("coarse", coarse)):
+        totals = session.totals()
+        print(
+            f"  {name:7} windows={totals['windows']:>3} "
+            f"supersteps={totals['supersteps']:>4} "
+            f"comm={totals['communication_mb']:.3f} MB "
+            f"churn={totals['churn']}"
+        )
+
+
+if __name__ == "__main__":
+    main()

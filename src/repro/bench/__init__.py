@@ -1,0 +1,37 @@
+"""Benchmark harness: workloads, experiment drivers, reporting."""
+
+from repro.bench.harness import (
+    fig10_efficiency,
+    fig11_batch_size,
+    fig12_machines,
+    fig13_updates,
+    table2_order_independence,
+    table3_optimizations,
+    table4_effectiveness,
+)
+from repro.bench.reporting import format_series, format_table, print_report
+from repro.bench.workloads import (
+    batched,
+    delete_reinsert_workload,
+    deletion_insertion_halves,
+    mixed_workload,
+    sample_edges,
+)
+
+__all__ = [
+    "batched",
+    "delete_reinsert_workload",
+    "deletion_insertion_halves",
+    "fig10_efficiency",
+    "fig11_batch_size",
+    "fig12_machines",
+    "fig13_updates",
+    "format_series",
+    "format_table",
+    "mixed_workload",
+    "print_report",
+    "sample_edges",
+    "table2_order_independence",
+    "table3_optimizations",
+    "table4_effectiveness",
+]

@@ -1,0 +1,65 @@
+"""Plain-text rendering of experiment results.
+
+The drivers in :mod:`repro.bench.harness` return lists of dict rows; the
+functions here print them the way the paper's tables/figures present them so
+``pytest benchmarks/ --benchmark-only`` output can be eyeballed against the
+paper directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def format_table(rows: Sequence[Dict], columns: Sequence[str], title: str = "") -> str:
+    """Render dict rows as an aligned text table."""
+    if not rows:
+        return f"{title}\n(no rows)"
+    widths = {c: len(c) for c in columns}
+    rendered: List[List[str]] = []
+    for row in rows:
+        cells = []
+        for c in columns:
+            value = row.get(c, "")
+            if isinstance(value, float):
+                text = f"{value:.4g}"
+            else:
+                text = str(value)
+            widths[c] = max(widths[c], len(text))
+            cells.append(text)
+        rendered.append(cells)
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(c.ljust(widths[c]) for c in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for cells in rendered:
+        lines.append(
+            "  ".join(cell.ljust(widths[c]) for cell, c in zip(cells, columns))
+        )
+    return "\n".join(lines)
+
+
+def format_series(series: Dict[str, List], x_name: str, title: str = "") -> str:
+    """Render an x-vs-many-ys mapping (figure-style output).
+
+    ``series`` maps a label to a list of values; the ``x_name`` entry is the
+    x axis.
+    """
+    xs = series[x_name]
+    columns = [x_name] + [k for k in series if k != x_name]
+    rows = []
+    for i, x in enumerate(xs):
+        row = {x_name: x}
+        for label in columns[1:]:
+            row[label] = series[label][i]
+        rows.append(row)
+    return format_table(rows, columns, title=title)
+
+
+def print_report(text: str) -> None:
+    """Emit a report block (kept separate so tests can capture it)."""
+    print()
+    print(text)
+    print()

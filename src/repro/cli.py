@@ -1,0 +1,249 @@
+"""Command-line interface: ``repro-mis``.
+
+Subcommands
+-----------
+``compute``    static MIS of a SNAP edge-list file (OIMIS or DisMIS, either
+               engine), printing size + cost meters, optionally the members.
+``maintain``   stream an update file (``ins u v`` / ``del u v`` lines)
+               through the DOIMIS maintainer, optionally from/to a
+               checkpoint, printing the maintenance meters.
+``generate``   write a synthetic graph (er / ba / chung_lu / dataset
+               stand-in) as an edge list, and optionally a delete-reinsert
+               workload for it.
+``datasets``   list the 16 paper-dataset stand-ins.
+``bench``      run one experiment driver (table2..fig13) and print its table.
+
+Examples
+--------
+::
+
+    repro-mis generate ba --n 1000 --param 4 -o graph.txt --workload 200
+    repro-mis compute graph.txt --algorithm dismis --workers 8
+    repro-mis maintain graph.txt.updates --graph graph.txt --batch-size 50 --verify
+    repro-mis bench table2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.activation import ActivationStrategy
+from repro.core.dismis import run_dismis
+from repro.core.maintainer import MISMaintainer
+from repro.core.oimis import run_oimis, run_oimis_pregel
+from repro.errors import ReproError
+from repro.graph import datasets, generators
+from repro.graph.io import (
+    read_edge_list,
+    read_update_stream,
+    write_edge_list,
+    write_update_stream,
+)
+
+_STRATEGIES = {
+    "all": ActivationStrategy.ALL,
+    "lr": ActivationStrategy.LOWER_RANKING,
+    "ss": ActivationStrategy.SAME_STATUS,
+}
+
+
+def _print_metrics(label: str, metrics) -> None:
+    summary = metrics.summary()
+    print(f"{label}:")
+    for key in ("supersteps", "active_vertices", "communication_mb",
+                "memory_mb", "wall_time_s"):
+        print(f"  {key:18} {summary[key]}")
+
+
+# ---------------------------------------------------------------------------
+# subcommand implementations
+# ---------------------------------------------------------------------------
+def _cmd_compute(args: argparse.Namespace) -> int:
+    graph = read_edge_list(args.graph)
+    print(f"loaded {graph}")
+    if args.algorithm == "oimis":
+        if args.engine == "pregel":
+            run = run_oimis_pregel(graph, num_workers=args.workers)
+        else:
+            run = run_oimis(
+                graph, num_workers=args.workers,
+                strategy=_STRATEGIES[args.strategy],
+            )
+        members = run.independent_set
+        metrics = run.metrics
+    else:
+        run = run_dismis(graph, num_workers=args.workers, engine=args.engine)
+        members = run.independent_set
+        metrics = run.metrics
+    print(f"independent set size: {len(members)}")
+    _print_metrics("metrics", metrics)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            for u in sorted(members):
+                handle.write(f"{u}\n")
+        print(f"members written to {args.output}")
+    return 0
+
+
+def _cmd_maintain(args: argparse.Namespace) -> int:
+    if args.resume:
+        maintainer = MISMaintainer.load(args.resume)
+        print(f"resumed checkpoint: {maintainer.graph}, |M|={len(maintainer)}")
+    else:
+        graph = read_edge_list(args.graph)
+        maintainer = MISMaintainer(
+            graph, num_workers=args.workers,
+            strategy=_STRATEGIES[args.strategy],
+        )
+        print(f"loaded {maintainer.graph}; initial |M|={len(maintainer)}")
+    ops = read_update_stream(args.updates)
+    print(f"applying {len(ops)} updates in batches of {args.batch_size}")
+    maintainer.apply_stream(ops, batch_size=args.batch_size)
+    print(f"final independent set size: {len(maintainer)}")
+    _print_metrics("maintenance", maintainer.update_metrics)
+    if args.verify:
+        maintainer.verify()
+        print("verification passed")
+    if args.checkpoint:
+        maintainer.save(args.checkpoint)
+        print(f"checkpoint written to {args.checkpoint}")
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            for u in sorted(maintainer.independent_set()):
+                handle.write(f"{u}\n")
+        print(f"members written to {args.output}")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.model == "er":
+        m = args.edges if args.edges is not None else 3 * args.n
+        graph = generators.erdos_renyi(args.n, m, seed=args.seed)
+    elif args.model == "ba":
+        graph = generators.barabasi_albert(args.n, int(args.param), seed=args.seed)
+    elif args.model == "chung_lu":
+        graph = generators.chung_lu(args.n, args.param, seed=args.seed)
+    else:  # dataset stand-in
+        graph = datasets.load_dataset(args.dataset)
+    write_edge_list(graph, args.output)
+    print(f"wrote {graph} to {args.output}")
+    if args.workload:
+        from repro.bench.workloads import delete_reinsert_workload
+
+        ops = delete_reinsert_workload(graph, args.workload, seed=args.seed)
+        path = args.output + ".updates"
+        write_update_stream(ops, path)
+        print(f"wrote {len(ops)}-op delete-reinsert workload to {path}")
+    return 0
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    print(f"{'tag':6} {'name':12} {'paper |V|':>12} {'paper |E|':>15} "
+          f"{'standin n':>10} {'standin m':>10} {'group':>6}")
+    for tag in datasets.dataset_tags():
+        spec = datasets.dataset_spec(tag)
+        print(
+            f"{spec.tag:6} {spec.name:12} {spec.paper_vertices:>12,} "
+            f"{spec.paper_edges:>15,} {spec.n:>10} {spec.m:>10} {spec.group:>6}"
+        )
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import harness
+    from repro.bench.reporting import format_table
+
+    drivers = {
+        "table2": (harness.table2_order_independence, {}),
+        "table3": (harness.table3_optimizations, {}),
+        "table4": (harness.table4_effectiveness, {"k": args.k}),
+        "fig10": (harness.fig10_efficiency, {"k": args.k}),
+        "fig11": (harness.fig11_batch_size, {"k": args.k}),
+        "fig12": (harness.fig12_machines, {"k": args.k}),
+        "fig13": (harness.fig13_updates, {}),
+    }
+    driver, kwargs = drivers[args.experiment]
+    rows = driver(**kwargs)
+    columns = list(rows[0].keys())
+    print(format_table(rows, columns, title=f"experiment {args.experiment}"))
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# parser
+# ---------------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-mis",
+        description="Distributed near-maximum independent set maintenance "
+        "(OIMIS/DOIMIS, ICDE 2023 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    compute = sub.add_parser("compute", help="static MIS of an edge-list file")
+    compute.add_argument("graph", help="SNAP-style edge-list file")
+    compute.add_argument("--algorithm", choices=("oimis", "dismis"), default="oimis")
+    compute.add_argument("--engine", choices=("scaleg", "pregel"), default="scaleg")
+    compute.add_argument("--workers", type=int, default=10)
+    compute.add_argument("--strategy", choices=sorted(_STRATEGIES), default="ss")
+    compute.add_argument("--output", "-o", help="write member ids to this file")
+    compute.set_defaults(fn=_cmd_compute)
+
+    maintain = sub.add_parser("maintain", help="apply an update stream")
+    maintain.add_argument("updates", help="update stream (ins/del u v lines)")
+    maintain.add_argument("--graph", help="SNAP-style edge-list file to start from")
+    maintain.add_argument("--workers", type=int, default=10)
+    maintain.add_argument("--strategy", choices=sorted(_STRATEGIES), default="ss")
+    maintain.add_argument("--batch-size", type=int, default=1)
+    maintain.add_argument("--verify", action="store_true")
+    maintain.add_argument("--checkpoint", help="write a checkpoint after the stream")
+    maintain.add_argument("--resume", help="resume from a checkpoint instead of a graph")
+    maintain.add_argument("--output", "-o", help="write member ids to this file")
+    maintain.set_defaults(fn=_cmd_maintain)
+
+    generate = sub.add_parser("generate", help="write a synthetic graph")
+    generate.add_argument("model", choices=("er", "ba", "chung_lu", "dataset"))
+    generate.add_argument("--n", type=int, default=1000)
+    generate.add_argument("--edges", type=int, help="edge count (er only)")
+    generate.add_argument("--param", type=float, default=3.0,
+                          help="attach count (ba) or average degree (chung_lu)")
+    generate.add_argument("--dataset", choices=datasets.dataset_tags(),
+                          help="stand-in tag when model=dataset")
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--output", "-o", required=True)
+    generate.add_argument("--workload", type=int, default=0,
+                          help="also write a delete-reinsert workload of this k")
+    generate.set_defaults(fn=_cmd_generate)
+
+    ds = sub.add_parser("datasets", help="list the 16 dataset stand-ins")
+    ds.set_defaults(fn=_cmd_datasets)
+
+    bench = sub.add_parser("bench", help="run one experiment driver")
+    bench.add_argument("experiment", choices=(
+        "table2", "table3", "table4", "fig10", "fig11", "fig12", "fig13"))
+    bench.add_argument("--k", type=int, default=100)
+    bench.set_defaults(fn=_cmd_bench)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point (returns the process exit code)."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "maintain":
+        if bool(args.resume) == bool(args.graph):
+            parser.error("maintain needs exactly one of --graph or --resume")
+    if args.command == "generate" and args.model == "dataset" and not args.dataset:
+        parser.error("generate dataset needs --dataset TAG")
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,61 @@
+"""The paper's algorithms: DisMIS, OIMIS, DOIMIS and baselines."""
+
+from repro.core.activation import ActivationStrategy
+from repro.core.baselines import (
+    DDisMISRecompute,
+    DISTRIBUTED_ALGORITHM_NAMES,
+    NaiveRecompute,
+    make_algorithm,
+)
+from repro.core.dismis import DisMISProgram, DisMISPregelProgram, DisMISRun, Status, run_dismis
+from repro.core.doimis import DOIMISMaintainer
+from repro.core.maintainer import MISMaintainer
+from repro.core.oimis import (
+    OIMISPregelProgram,
+    OIMISProgram,
+    OIMISRun,
+    run_oimis,
+    run_oimis_pregel,
+)
+from repro.core.history_dismis import HistoryDisMIS
+from repro.core.weighted import (
+    WeightedMISMaintainer,
+    WeightedOIMISProgram,
+    is_weighted_fixpoint,
+    set_weight_of,
+    weighted_greedy_mis,
+    weighted_precedes,
+)
+from repro.core.ordering import degree_order, dominated_neighbors, dominating_neighbors, precedes, rank
+
+__all__ = [
+    "ActivationStrategy",
+    "DDisMISRecompute",
+    "DISTRIBUTED_ALGORITHM_NAMES",
+    "DOIMISMaintainer",
+    "DisMISPregelProgram",
+    "DisMISProgram",
+    "DisMISRun",
+    "HistoryDisMIS",
+    "MISMaintainer",
+    "NaiveRecompute",
+    "OIMISPregelProgram",
+    "OIMISProgram",
+    "OIMISRun",
+    "Status",
+    "degree_order",
+    "dominated_neighbors",
+    "dominating_neighbors",
+    "make_algorithm",
+    "precedes",
+    "rank",
+    "run_dismis",
+    "run_oimis",
+    "WeightedMISMaintainer",
+    "WeightedOIMISProgram",
+    "is_weighted_fixpoint",
+    "set_weight_of",
+    "weighted_greedy_mis",
+    "weighted_precedes",
+    "run_oimis_pregel",
+]

@@ -1,0 +1,191 @@
+"""OIMIS — Order-Independent MIS computation (Algorithm 2).
+
+Every vertex carries one boolean ``in``.  An active vertex re-derives::
+
+    in(u) = not exists v in nbr(u): v ≺ u and in(v)
+
+against the previous superstep's states, and on change activates neighbours
+per the configured :class:`~repro.core.activation.ActivationStrategy`.  The
+run converges to the unique fixpoint of the degree-order greedy MIS —
+exactly DisMIS's result (Theorem 4.1) — in at most as many supersteps as
+DisMIS, independent of initial states.
+
+Two implementations are provided:
+
+- :class:`OIMISProgram` — the primary one, on the ScaleG engine, where
+  neighbour states are local guest-copy reads and a changed vertex syncs
+  once per machine.  This is what the paper deploys and what the dynamic
+  algorithm (:mod:`repro.core.doimis`) resumes.
+- :class:`OIMISPregelProgram` — a classic message-passing variant for
+  cross-engine validation: each vertex caches neighbour ``(degree, in)``
+  pairs from broadcasts.  Static graphs only (the cache does not track
+  degree changes).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Set
+
+from repro.core.activation import ActivationStrategy, activation_requests
+from repro.graph.distributed_graph import DistributedGraph
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.pregel.engine import PregelContext, PregelEngine, PregelProgram
+from repro.pregel.metrics import DEGREE_BYTES, STATUS_BYTES, VERTEX_ID_BYTES, RunMetrics
+from repro.pregel.partition import HashPartitioner
+from repro.scaleg.engine import ScaleGContext, ScaleGEngine, ScaleGProgram
+
+
+class OIMISProgram(ScaleGProgram):
+    """Algorithm 2 as a ScaleG vertex program.
+
+    State is a plain ``bool`` (``u.in``).  ``strategy`` selects the
+    activation filter of Section V; ``full_scan=True`` disables the early
+    ``break`` of Algorithm 2 lines 6-8, which turns the program into the
+    paper's ``SCALL`` baseline (identical results and communication, more
+    neighbour scans).
+    """
+
+    def __init__(
+        self,
+        strategy: ActivationStrategy = ActivationStrategy.ALL,
+        full_scan: bool = False,
+    ):
+        self.strategy = strategy
+        self.full_scan = full_scan
+
+    def initial_state(self, dgraph: DistributedGraph, u: int) -> bool:
+        # Algorithm 2 line 2: u.in <- true.  (Theorem 4.2's order-independence
+        # means any initialization converges to the same fixpoint; tests
+        # exercise adversarial initializations too.)
+        return True
+
+    def compute(self, ctx: ScaleGContext) -> None:
+        old = ctx.state
+        new_in = True
+        my_rank = (ctx.degree(), ctx.vertex)
+        for v in ctx.sorted_neighbors():
+            ctx.charge(1)  # rank comparison against the (guest) record of v
+            if ctx.rank_of(v) < my_rank and ctx.neighbor_state(v):
+                new_in = False
+                if not self.full_scan:
+                    break
+        ctx.set_state(new_in)
+        if new_in != old:
+            for v, predicate in activation_requests(ctx, self.strategy):
+                ctx.activate(v, predicate)
+
+    def sync_bytes(self, state: bool) -> int:
+        # one boolean status per sync (the paper: "vertices only have two
+        # status to synced")
+        return STATUS_BYTES
+
+    def state_bytes(self, state: bool) -> int:
+        return STATUS_BYTES
+
+
+class OIMISPregelProgram(PregelProgram):
+    """Message-passing OIMIS for cross-engine validation (static graphs).
+
+    Vertex state is ``{"in": bool, "nbr": {v: (deg_v, in_v)}}``.  Superstep 0
+    broadcasts ``(id, degree, True)``; later supersteps fold received
+    broadcasts into the cache, recompute ``in``, and re-broadcast on change.
+    """
+
+    _BCAST_BYTES = VERTEX_ID_BYTES + DEGREE_BYTES + STATUS_BYTES
+
+    def initial_state(self, dgraph: DistributedGraph, u: int) -> Dict[str, Any]:
+        return {"in": True, "nbr": {}}
+
+    def compute(self, ctx: PregelContext) -> None:
+        state = dict(ctx.state)
+        cache = dict(state["nbr"])
+        if ctx.superstep == 0:
+            ctx.broadcast((ctx.vertex, ctx.degree(), True), self._BCAST_BYTES)
+            ctx.set_state({"in": True, "nbr": cache})
+            return
+        for v, deg_v, in_v in ctx.messages:
+            cache[v] = (deg_v, in_v)
+            ctx.charge(1)
+        my_rank = (ctx.degree(), ctx.vertex)
+        new_in = True
+        for v in sorted(cache):
+            deg_v, in_v = cache[v]
+            ctx.charge(1)
+            if (deg_v, v) < my_rank and in_v:
+                new_in = False
+                break
+        changed = new_in != state["in"]
+        ctx.set_state({"in": new_in, "nbr": cache})
+        if changed:
+            ctx.broadcast((ctx.vertex, ctx.degree(), new_in), self._BCAST_BYTES)
+
+    def state_bytes(self, state: Dict[str, Any]) -> int:
+        # the neighbour cache mirrors what ScaleG keeps as guest copies
+        return STATUS_BYTES + len(state["nbr"]) * (
+            VERTEX_ID_BYTES + DEGREE_BYTES + STATUS_BYTES
+        )
+
+
+def independent_set_from_states(states: Dict[int, bool]) -> Set[int]:
+    """Extract ``{u | u.in}`` from an OIMIS state map."""
+    return {u for u, in_set in states.items() if in_set}
+
+
+def run_oimis(
+    graph: DynamicGraph,
+    num_workers: int = 10,
+    strategy: ActivationStrategy = ActivationStrategy.ALL,
+    partitioner=None,
+    metrics: Optional[RunMetrics] = None,
+    initial_states: Optional[Dict[int, bool]] = None,
+) -> "OIMISRun":
+    """Compute the independent set of a static graph with OIMIS on ScaleG.
+
+    Returns an :class:`OIMISRun` with the set, the raw states (reusable for
+    dynamic maintenance), and the run metrics.
+    """
+    dgraph = DistributedGraph(
+        graph, partitioner or HashPartitioner(num_workers)
+    )
+    engine = ScaleGEngine(dgraph)
+    program = OIMISProgram(strategy=strategy)
+    states = dict(initial_states) if initial_states is not None else None
+    result = engine.run(program, states=states, metrics=metrics)
+    return OIMISRun(
+        independent_set=independent_set_from_states(result.states),
+        states=result.states,
+        metrics=result.metrics,
+    )
+
+
+def run_oimis_pregel(
+    graph: DynamicGraph, num_workers: int = 10, partitioner=None
+) -> "OIMISRun":
+    """Compute the independent set with the message-passing variant."""
+    dgraph = DistributedGraph(
+        graph, partitioner or HashPartitioner(num_workers)
+    )
+    engine = PregelEngine(dgraph)
+    result = engine.run(OIMISPregelProgram())
+    states = {u: s["in"] for u, s in result.states.items()}
+    return OIMISRun(
+        independent_set=independent_set_from_states(states),
+        states=states,
+        metrics=result.metrics,
+    )
+
+
+class OIMISRun:
+    """Outcome of a static OIMIS computation."""
+
+    def __init__(self, independent_set: Set[int], states: Dict[int, bool],
+                 metrics: RunMetrics):
+        self.independent_set = independent_set
+        self.states = states
+        self.metrics = metrics
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"OIMISRun(|MIS|={len(self.independent_set)}, "
+            f"supersteps={self.metrics.supersteps})"
+        )

@@ -1,0 +1,52 @@
+"""The vertex total order ``≺`` (Definition 3.1).
+
+``u ≺ v`` iff ``deg(u) < deg(v)``, ties broken by id.  The order drives
+every algorithm in this library: DisMIS selects ``≺``-minimal vertices,
+OIMIS's fixpoint is "in the set iff no ``≺``-smaller neighbour is", and the
+maintenance algorithms re-evaluate it against *current* degrees, which is
+why edge updates (which change degrees) can ripple.
+
+Ranks are represented as ``(degree, id)`` tuples compared lexicographically,
+so ``rank(g, u) < rank(g, v)`` is exactly ``u ≺ v``.  No global rank value
+is ever materialized — consistent with the paper's observation that only
+pairwise comparisons are needed, at zero maintenance cost.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.graph.dynamic_graph import DynamicGraph
+
+Rank = Tuple[int, int]
+
+
+def rank(graph: DynamicGraph, u: int) -> Rank:
+    """The ``≺`` key of ``u`` under the graph's *current* degrees."""
+    return (graph.degree(u), u)
+
+
+def precedes(graph: DynamicGraph, u: int, v: int) -> bool:
+    """``u ≺ v`` — ``u`` dominates (ranks higher than) ``v``."""
+    return rank(graph, u) < rank(graph, v)
+
+
+def degree_order(graph: DynamicGraph) -> List[int]:
+    """All vertices sorted ascending by ``≺`` (the greedy processing order)."""
+    return sorted(graph.vertices(), key=lambda u: (graph.degree(u), u))
+
+
+def dominating_neighbors(graph: DynamicGraph, u: int) -> List[int]:
+    """Neighbours of ``u`` that rank higher than ``u``, in ``≺`` order."""
+    my_rank = rank(graph, u)
+    nbrs = [v for v in graph.neighbors(u) if rank(graph, v) < my_rank]
+    nbrs.sort(key=lambda v: (graph.degree(v), v))
+    return nbrs
+
+
+def dominated_neighbors(graph: DynamicGraph, u: int) -> List[int]:
+    """Neighbours of ``u`` that rank lower than ``u``, in ``≺`` order."""
+    my_rank = rank(graph, u)
+    nbrs = [v for v in graph.neighbors(u) if rank(graph, v) > my_rank]
+    nbrs.sort(key=lambda v: (graph.degree(v), v))
+    return nbrs

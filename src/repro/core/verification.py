@@ -1,0 +1,94 @@
+"""Result verification: independence, maximality, and fixpoint checks.
+
+These are the invariants the paper's theorems promise; the test suite and
+the benchmark harness call them after every run so a regression in any
+algorithm or engine fails loudly instead of silently shrinking set quality.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Set
+
+from repro.errors import VerificationError
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.serial.greedy import greedy_mis
+
+
+def is_independent_set(graph: DynamicGraph, candidate: Iterable[int]) -> bool:
+    """True iff no two vertices of ``candidate`` are adjacent."""
+    members = set(candidate)
+    for u in members:
+        if not graph.has_vertex(u):
+            return False
+        if any(v in members for v in graph.neighbors(u)):
+            return False
+    return True
+
+
+def is_maximal_independent_set(graph: DynamicGraph, candidate: Iterable[int]) -> bool:
+    """True iff ``candidate`` is independent and no vertex can be added."""
+    members = set(candidate)
+    if not is_independent_set(graph, members):
+        return False
+    for u in graph.vertices():
+        if u in members:
+            continue
+        if not any(v in members for v in graph.neighbors(u)):
+            return False
+    return True
+
+
+def is_greedy_fixpoint(graph: DynamicGraph, candidate: Iterable[int]) -> bool:
+    """True iff ``candidate`` satisfies the paper's local property everywhere:
+
+    ``u ∈ M ⇔ no neighbour v ≺ u with v ∈ M`` (Observation 4.1 + order).
+
+    The fixpoint is unique, so this is equivalent to equality with
+    :func:`repro.serial.greedy.greedy_mis` but checks the *local* property
+    directly, which gives better failure localization.
+    """
+    members = set(candidate)
+    for u in graph.vertices():
+        my_rank = (graph.degree(u), u)
+        dominated_by_member = any(
+            (graph.degree(v), v) < my_rank and v in members
+            for v in graph.neighbors(u)
+        )
+        if (u in members) == dominated_by_member:
+            return False
+    return True
+
+
+def assert_valid_mis(graph: DynamicGraph, candidate: Iterable[int]) -> None:
+    """Raise :class:`VerificationError` unless ``candidate`` is the greedy
+    fixpoint MIS of ``graph`` (which implies maximal independence)."""
+    members = set(candidate)
+    if not is_independent_set(graph, members):
+        offender = _first_violation(graph, members)
+        raise VerificationError(f"not an independent set: edge {offender} inside it")
+    if not is_greedy_fixpoint(graph, members):
+        expected = greedy_mis(graph)
+        missing = sorted(expected - members)[:5]
+        extra = sorted(members - expected)[:5]
+        raise VerificationError(
+            "not the degree-order greedy fixpoint: "
+            f"missing={missing} extra={extra} "
+            f"(|expected|={len(expected)}, |got|={len(members)})"
+        )
+
+
+def _first_violation(graph: DynamicGraph, members: Set[int]):
+    for u in sorted(members):
+        if not graph.has_vertex(u):
+            return (u, "missing-vertex")
+        for v in sorted(graph.neighbors(u)):
+            if v in members:
+                return (u, v)
+    return None
+
+
+def set_quality(candidate_size: int, reference_size: int) -> float:
+    """The paper's ``prec``: candidate size over reference size (Table IV)."""
+    if reference_size == 0:
+        return 1.0
+    return candidate_size / reference_size

@@ -1,0 +1,91 @@
+"""Exception hierarchy for the repro library.
+
+All exceptions raised by the library derive from :class:`ReproError` so that
+callers can catch everything library-specific with a single ``except``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class GraphError(ReproError):
+    """Base class for errors raised by the graph substrate."""
+
+
+class VertexNotFoundError(GraphError):
+    """Raised when an operation references a vertex that does not exist."""
+
+    def __init__(self, vertex: int):
+        super().__init__(f"vertex {vertex!r} does not exist")
+        self.vertex = vertex
+
+
+class EdgeNotFoundError(GraphError):
+    """Raised when deleting or querying an edge that does not exist."""
+
+    def __init__(self, u: int, v: int):
+        super().__init__(f"edge ({u!r}, {v!r}) does not exist")
+        self.edge = (u, v)
+
+
+class EdgeExistsError(GraphError):
+    """Raised when inserting an edge that already exists."""
+
+    def __init__(self, u: int, v: int):
+        super().__init__(f"edge ({u!r}, {v!r}) already exists")
+        self.edge = (u, v)
+
+
+class SelfLoopError(GraphError):
+    """Raised when inserting a self-loop, which independent sets disallow."""
+
+    def __init__(self, u: int):
+        super().__init__(f"self-loop ({u!r}, {u!r}) is not allowed")
+        self.vertex = u
+
+
+class EngineError(ReproError):
+    """Base class for errors raised by the distributed engines."""
+
+
+class SuperstepLimitExceeded(EngineError):
+    """Raised when a vertex program fails to converge within the limit.
+
+    The engines bound the number of supersteps (default ``O(n)`` plus slack,
+    matching the paper's convergence bound) to turn a non-terminating vertex
+    program into a loud failure instead of an infinite loop.
+    """
+
+    def __init__(self, limit: int):
+        super().__init__(f"vertex program did not converge within {limit} supersteps")
+        self.limit = limit
+
+
+class PartitionError(EngineError):
+    """Raised when a partitioner produces an invalid worker assignment."""
+
+
+class WorkloadError(ReproError):
+    """Raised when an update workload cannot be generated as requested."""
+
+
+class VerificationError(ReproError):
+    """Raised when a computed result violates a checked invariant."""
+
+
+class MemoryBudgetExceeded(ReproError):
+    """Raised by serial baselines when their modelled memory exceeds a budget.
+
+    This mirrors the out-of-memory failures of the centralized dynamic
+    algorithms in the paper's Table IV without needing billion-edge inputs.
+    """
+
+    def __init__(self, needed_mb: float, budget_mb: float):
+        super().__init__(
+            f"modelled memory {needed_mb:.1f} MB exceeds budget {budget_mb:.1f} MB"
+        )
+        self.needed_mb = needed_mb
+        self.budget_mb = budget_mb

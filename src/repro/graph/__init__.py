@@ -1,0 +1,27 @@
+"""Graph substrate: dynamic storage, partitioned views, generators, I/O."""
+
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.distributed_graph import DistributedGraph
+from repro.graph.updates import (
+    EdgeDeletion,
+    EdgeInsertion,
+    UpdateBatch,
+    VertexDeletion,
+    VertexInsertion,
+    affected_vertices,
+    apply_batch,
+    apply_edge_update,
+)
+
+__all__ = [
+    "DistributedGraph",
+    "DynamicGraph",
+    "EdgeDeletion",
+    "EdgeInsertion",
+    "UpdateBatch",
+    "VertexDeletion",
+    "VertexInsertion",
+    "affected_vertices",
+    "apply_batch",
+    "apply_edge_update",
+]

@@ -1,0 +1,218 @@
+"""In-memory dynamic undirected graph.
+
+:class:`DynamicGraph` is the single-image graph substrate every algorithm in
+this library runs on.  It stores adjacency as hash sets, so edge insertion,
+deletion and membership tests are expected O(1), and it keeps vertex degrees
+implicitly (``len`` of the adjacency set).  The distributed engines wrap a
+``DynamicGraph`` with a partitioning layer (:mod:`repro.graph.distributed_graph`).
+
+Self-loops are rejected because an independent set can never contain a
+self-looped vertex and the paper's graphs are simple.  Parallel edges are
+rejected for the same reason.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Set, Tuple
+
+from repro.errors import (
+    EdgeExistsError,
+    EdgeNotFoundError,
+    SelfLoopError,
+    VertexNotFoundError,
+)
+
+
+def normalize_edge(u: int, v: int) -> Tuple[int, int]:
+    """Return the canonical ``(min, max)`` form of an undirected edge."""
+    return (u, v) if u <= v else (v, u)
+
+
+class DynamicGraph:
+    """An undirected simple graph supporting efficient dynamic updates.
+
+    Vertices are integers.  The class deliberately exposes a small, explicit
+    API; algorithm-specific state (MIS membership, ranks, ...) lives with the
+    algorithms, never on the graph.
+
+    Example
+    -------
+    >>> g = DynamicGraph.from_edges([(1, 2), (2, 3)])
+    >>> g.degree(2)
+    2
+    >>> g.remove_edge(1, 2)
+    >>> sorted(g.neighbors(2))
+    [3]
+    """
+
+    __slots__ = ("_adj",)
+
+    def __init__(self) -> None:
+        self._adj: Dict[int, Set[int]] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls, edges: Iterable[Tuple[int, int]], vertices: Iterable[int] = ()
+    ) -> "DynamicGraph":
+        """Build a graph from an edge iterable (plus optional isolated vertices).
+
+        Duplicate edges in the input are tolerated (applied once); self-loops
+        raise :class:`SelfLoopError`.
+        """
+        graph = cls()
+        for v in vertices:
+            graph.add_vertex(v)
+        for u, v in edges:
+            if not graph.has_vertex(u):
+                graph.add_vertex(u)
+            if not graph.has_vertex(v):
+                graph.add_vertex(v)
+            if not graph.has_edge(u, v):
+                graph.add_edge(u, v)
+        return graph
+
+    def copy(self) -> "DynamicGraph":
+        """Return a deep copy (adjacency sets are not shared)."""
+        clone = DynamicGraph()
+        clone._adj = {u: set(nbrs) for u, nbrs in self._adj.items()}
+        return clone
+
+    # ------------------------------------------------------------------
+    # vertices
+    # ------------------------------------------------------------------
+    def add_vertex(self, u: int) -> None:
+        """Add an isolated vertex.  Adding an existing vertex is a no-op."""
+        self._adj.setdefault(u, set())
+
+    def remove_vertex(self, u: int) -> List[Tuple[int, int]]:
+        """Remove ``u`` and all incident edges.
+
+        Returns the list of removed edges (useful for maintenance algorithms
+        that must process the implied edge deletions).
+        """
+        nbrs = self._require(u)
+        removed = [(u, v) for v in sorted(nbrs)]
+        for v in nbrs:
+            self._adj[v].discard(u)
+        del self._adj[u]
+        return removed
+
+    def has_vertex(self, u: int) -> bool:
+        return u in self._adj
+
+    def vertices(self) -> Iterator[int]:
+        """Iterate over all vertex ids (no ordering guarantee)."""
+        return iter(self._adj)
+
+    def sorted_vertices(self) -> List[int]:
+        """All vertex ids in ascending order (deterministic iteration)."""
+        return sorted(self._adj)
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._adj)
+
+    # ------------------------------------------------------------------
+    # edges
+    # ------------------------------------------------------------------
+    def add_edge(self, u: int, v: int) -> None:
+        """Insert edge ``(u, v)``; endpoints are created if missing.
+
+        Raises
+        ------
+        SelfLoopError
+            if ``u == v``.
+        EdgeExistsError
+            if the edge is already present.
+        """
+        if u == v:
+            raise SelfLoopError(u)
+        self.add_vertex(u)
+        self.add_vertex(v)
+        if v in self._adj[u]:
+            raise EdgeExistsError(u, v)
+        self._adj[u].add(v)
+        self._adj[v].add(u)
+
+    def remove_edge(self, u: int, v: int) -> None:
+        """Delete edge ``(u, v)``.
+
+        Raises
+        ------
+        EdgeNotFoundError
+            if either endpoint or the edge itself is missing.
+        """
+        if u not in self._adj or v not in self._adj or v not in self._adj[u]:
+            raise EdgeNotFoundError(u, v)
+        self._adj[u].discard(v)
+        self._adj[v].discard(u)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        nbrs = self._adj.get(u)
+        return nbrs is not None and v in nbrs
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        """Iterate over edges once each, in canonical ``(u < v)`` form."""
+        for u, nbrs in self._adj.items():
+            for v in nbrs:
+                if u < v:
+                    yield (u, v)
+
+    def sorted_edges(self) -> List[Tuple[int, int]]:
+        """All edges in canonical form, sorted (deterministic iteration)."""
+        return sorted(self.edges())
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(nbrs) for nbrs in self._adj.values()) // 2
+
+    # ------------------------------------------------------------------
+    # neighbourhoods
+    # ------------------------------------------------------------------
+    def neighbors(self, u: int) -> Set[int]:
+        """The neighbour set of ``u`` (a live view; do not mutate)."""
+        return self._require(u)
+
+    def degree(self, u: int) -> int:
+        """Current degree of ``u`` (the paper's ``deg(u, G)``)."""
+        return len(self._require(u))
+
+    def average_degree(self) -> float:
+        """``2m / n`` — the paper's ``deg_avg`` dataset statistic."""
+        if not self._adj:
+            return 0.0
+        return 2.0 * self.num_edges / self.num_vertices
+
+    def max_degree(self) -> int:
+        if not self._adj:
+            return 0
+        return max(len(nbrs) for nbrs in self._adj.values())
+
+    # ------------------------------------------------------------------
+    # dunder / misc
+    # ------------------------------------------------------------------
+    def _require(self, u: int) -> Set[int]:
+        try:
+            return self._adj[u]
+        except KeyError:
+            raise VertexNotFoundError(u) from None
+
+    def __contains__(self, u: int) -> bool:
+        return u in self._adj
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DynamicGraph):
+            return NotImplemented
+        return self._adj == other._adj
+
+    def __repr__(self) -> str:
+        return (
+            f"DynamicGraph(n={self.num_vertices}, m={self.num_edges}, "
+            f"deg_avg={self.average_degree():.2f})"
+        )

@@ -1,0 +1,251 @@
+"""Deterministic synthetic graph generators.
+
+The paper evaluates on 16 real graphs (SNAP + WebGraph corpora).  Those are
+unavailable offline, so :mod:`repro.graph.datasets` builds scaled-down
+stand-ins from the generators in this module.  All generators take an
+explicit ``seed`` and produce identical graphs across runs and platforms.
+
+Generators
+----------
+- :func:`erdos_renyi` — G(n, m) uniform random graph.
+- :func:`barabasi_albert` — preferential attachment (heavy-tailed degrees).
+- :func:`chung_lu` — power-law expected-degree model with a target average
+  degree, the closest match to the paper's web/social graphs.
+- :func:`watts_strogatz` — small-world rewiring model.
+- structured graphs (:func:`path_graph`, :func:`cycle_graph`,
+  :func:`star_graph`, :func:`complete_graph`, :func:`complete_bipartite`)
+  used heavily by the unit tests because their greedy MIS is known in
+  closed form.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Set, Tuple
+
+from repro.errors import WorkloadError
+from repro.graph.dynamic_graph import DynamicGraph
+
+
+def _empty_with_vertices(n: int) -> DynamicGraph:
+    graph = DynamicGraph()
+    for u in range(n):
+        graph.add_vertex(u)
+    return graph
+
+
+def erdos_renyi(n: int, m: int, seed: int = 0) -> DynamicGraph:
+    """Uniform random graph with exactly ``n`` vertices and ``m`` edges.
+
+    Raises :class:`WorkloadError` if ``m`` exceeds the number of vertex pairs.
+    """
+    max_edges = n * (n - 1) // 2
+    if m > max_edges:
+        raise WorkloadError(f"cannot place {m} edges in a {n}-vertex simple graph")
+    rng = random.Random(seed)
+    graph = _empty_with_vertices(n)
+    placed: Set[Tuple[int, int]] = set()
+    while len(placed) < m:
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u == v:
+            continue
+        edge = (u, v) if u < v else (v, u)
+        if edge in placed:
+            continue
+        placed.add(edge)
+        graph.add_edge(*edge)
+    return graph
+
+
+def barabasi_albert(n: int, attach: int, seed: int = 0) -> DynamicGraph:
+    """Preferential-attachment graph: each new vertex attaches to ``attach``
+    existing vertices chosen proportionally to degree.
+
+    The first ``attach + 1`` vertices form a clique seed.
+    """
+    if attach < 1:
+        raise WorkloadError("attach must be >= 1")
+    if n < attach + 1:
+        raise WorkloadError(f"need at least {attach + 1} vertices for attach={attach}")
+    rng = random.Random(seed)
+    graph = _empty_with_vertices(n)
+    # repeated-endpoint list implements preferential attachment in O(1)
+    endpoints: List[int] = []
+    seed_size = attach + 1
+    for u in range(seed_size):
+        for v in range(u + 1, seed_size):
+            graph.add_edge(u, v)
+            endpoints.extend((u, v))
+    for u in range(seed_size, n):
+        targets: Set[int] = set()
+        while len(targets) < attach:
+            targets.add(endpoints[rng.randrange(len(endpoints))])
+        for v in targets:
+            graph.add_edge(u, v)
+            endpoints.extend((u, v))
+    return graph
+
+
+def chung_lu(
+    n: int, avg_degree: float, exponent: float = 2.5, seed: int = 0
+) -> DynamicGraph:
+    """Power-law expected-degree (Chung–Lu) graph.
+
+    Vertex ``i`` gets weight ``w_i ∝ (i + 1)^(-1/(exponent-1))``, scaled so the
+    expected average degree is ``avg_degree``; each candidate edge ``(u, v)``
+    is included with probability ``min(1, w_u * w_v / sum_w)``.  Sampling uses
+    the standard weighted edge-list trick so generation is near-linear in the
+    number of produced edges.
+    """
+    if n < 2:
+        return _empty_with_vertices(n)
+    rng = random.Random(seed)
+    gamma = 1.0 / (exponent - 1.0)
+    weights = [(i + 1.0) ** (-gamma) for i in range(n)]
+    total = sum(weights)
+    scale = avg_degree * n / total
+    weights = [w * scale for w in weights]
+    total_w = sum(weights)
+    graph = _empty_with_vertices(n)
+    # Expected number of (ordered) candidate pairs is total_w; draw that many
+    # weighted endpoint pairs.  This is the "fast Chung-Lu" approximation.
+    target_edges = int(total_w / 2.0)
+    cumulative: List[float] = []
+    acc = 0.0
+    for w in weights:
+        acc += w
+        cumulative.append(acc)
+
+    def draw() -> int:
+        x = rng.uniform(0.0, acc)
+        lo, hi = 0, n - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cumulative[mid] < x:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    placed: Set[Tuple[int, int]] = set()
+    attempts = 0
+    max_attempts = max(20 * target_edges, 1000)
+    while len(placed) < target_edges and attempts < max_attempts:
+        attempts += 1
+        u, v = draw(), draw()
+        if u == v:
+            continue
+        edge = (u, v) if u < v else (v, u)
+        if edge in placed:
+            continue
+        placed.add(edge)
+        graph.add_edge(*edge)
+    return graph
+
+
+def watts_strogatz(n: int, k: int, beta: float, seed: int = 0) -> DynamicGraph:
+    """Small-world graph: ring lattice of even degree ``k`` with rewiring
+    probability ``beta``.
+    """
+    if k % 2 != 0 or k >= n:
+        raise WorkloadError("k must be even and smaller than n")
+    rng = random.Random(seed)
+    graph = _empty_with_vertices(n)
+    for u in range(n):
+        for offset in range(1, k // 2 + 1):
+            v = (u + offset) % n
+            if not graph.has_edge(u, v):
+                graph.add_edge(u, v)
+    # Rewire each lattice edge with probability beta.
+    for u, v in list(graph.sorted_edges()):
+        if rng.random() < beta:
+            candidates = [
+                w for w in range(n) if w != u and not graph.has_edge(u, w)
+            ]
+            if candidates:
+                graph.remove_edge(u, v)
+                graph.add_edge(u, rng.choice(candidates))
+    return graph
+
+
+def path_graph(n: int) -> DynamicGraph:
+    """Path ``0 - 1 - ... - (n-1)``."""
+    return DynamicGraph.from_edges(
+        ((i, i + 1) for i in range(n - 1)), vertices=range(n)
+    )
+
+
+def cycle_graph(n: int) -> DynamicGraph:
+    """Cycle on ``n >= 3`` vertices."""
+    if n < 3:
+        raise WorkloadError("a cycle needs at least 3 vertices")
+    edges = [(i, (i + 1) % n) for i in range(n)]
+    return DynamicGraph.from_edges(edges)
+
+
+def star_graph(n_leaves: int) -> DynamicGraph:
+    """Star: centre ``0`` connected to leaves ``1..n_leaves``."""
+    return DynamicGraph.from_edges((0, i) for i in range(1, n_leaves + 1))
+
+
+def complete_graph(n: int) -> DynamicGraph:
+    """Clique on ``n`` vertices."""
+    graph = _empty_with_vertices(n)
+    for u in range(n):
+        for v in range(u + 1, n):
+            graph.add_edge(u, v)
+    return graph
+
+
+def complete_bipartite(a: int, b: int) -> DynamicGraph:
+    """Complete bipartite graph ``K(a, b)``; left side is ``0..a-1``."""
+    graph = _empty_with_vertices(a + b)
+    for u in range(a):
+        for v in range(a, a + b):
+            graph.add_edge(u, v)
+    return graph
+
+
+def with_exact_edges(graph: DynamicGraph, target_edges: int, seed: int = 0) -> DynamicGraph:
+    """Adjust ``graph`` in place to exactly ``target_edges`` edges.
+
+    Excess edges are removed uniformly at random; missing edges are added
+    uniformly at random between existing vertices.  Deterministic under
+    ``seed``.  Used by the dataset stand-ins, whose memory-model behaviour
+    (Table IV's OOM pattern) depends on exact sizes.
+    """
+    rng = random.Random(seed)
+    n = graph.num_vertices
+    max_edges = n * (n - 1) // 2
+    if target_edges > max_edges:
+        raise WorkloadError(
+            f"cannot fit {target_edges} edges into {n} vertices"
+        )
+    current = graph.num_edges
+    if current > target_edges:
+        edges = graph.sorted_edges()
+        rng.shuffle(edges)
+        for u, v in edges[: current - target_edges]:
+            graph.remove_edge(u, v)
+    elif current < target_edges:
+        vertices = graph.sorted_vertices()
+        missing = target_edges - current
+        while missing:
+            u = vertices[rng.randrange(n)]
+            v = vertices[rng.randrange(n)]
+            if u == v or graph.has_edge(u, v):
+                continue
+            graph.add_edge(u, v)
+            missing -= 1
+    return graph
+
+
+def paper_example_graph() -> DynamicGraph:
+    """The 6-vertex running example of the paper's Figures 1-3.
+
+    ``u1..u6`` map to ids ``1..6``: u2 is adjacent to u1 and u3; u4 is
+    adjacent to u3, u5, u6.  The degree-order greedy MIS is
+    ``{u1, u3, u5, u6}`` before updates.
+    """
+    return DynamicGraph.from_edges([(1, 2), (2, 3), (3, 4), (4, 5), (4, 6)])

@@ -1,0 +1,47 @@
+"""Classic message-passing Pregel runtime (simulated BSP cluster)."""
+
+from repro.pregel.engine import PregelContext, PregelEngine, PregelProgram, PregelResult
+from repro.pregel.library import (
+    BFSProgram,
+    ConnectedComponentsProgram,
+    DegreeStatsProgram,
+    PageRankProgram,
+    bfs_distances,
+    component_members,
+    connected_components,
+    degree_stats,
+    pagerank,
+)
+from repro.pregel.message import Message
+from repro.pregel.metrics import RunMetrics, SuperstepRecord
+from repro.pregel.partition import (
+    ExplicitPartitioner,
+    HashPartitioner,
+    Partitioner,
+    RangePartitioner,
+    balanced_partition,
+)
+
+__all__ = [
+    "BFSProgram",
+    "ConnectedComponentsProgram",
+    "DegreeStatsProgram",
+    "ExplicitPartitioner",
+    "PageRankProgram",
+    "bfs_distances",
+    "component_members",
+    "connected_components",
+    "degree_stats",
+    "pagerank",
+    "HashPartitioner",
+    "Message",
+    "Partitioner",
+    "PregelContext",
+    "PregelEngine",
+    "PregelProgram",
+    "PregelResult",
+    "RangePartitioner",
+    "RunMetrics",
+    "SuperstepRecord",
+    "balanced_partition",
+]

@@ -1,0 +1,102 @@
+"""Global aggregators (Pregel's reduce-and-broadcast mechanism).
+
+Each superstep, every vertex may contribute a value to a named aggregator;
+the engine reduces the contributions and makes the result visible to all
+vertices in the *next* superstep.  The MIS programs use a ``SumAggregator``
+to expose the remaining ``Unknown`` count (DisMIS termination diagnostics)
+and an ``OrAggregator`` to detect "any state changed".
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Dict, Optional
+
+
+class Aggregator(ABC):
+    """One named, typed global reducer."""
+
+    @abstractmethod
+    def identity(self) -> Any:
+        """The neutral element for the reduction."""
+
+    @abstractmethod
+    def reduce(self, acc: Any, value: Any) -> Any:
+        """Fold one contribution into the accumulator."""
+
+
+class SumAggregator(Aggregator):
+    def identity(self) -> Any:
+        return 0
+
+    def reduce(self, acc: Any, value: Any) -> Any:
+        return acc + value
+
+
+class OrAggregator(Aggregator):
+    def identity(self) -> Any:
+        return False
+
+    def reduce(self, acc: Any, value: Any) -> Any:
+        return bool(acc or value)
+
+
+class AndAggregator(Aggregator):
+    def identity(self) -> Any:
+        return True
+
+    def reduce(self, acc: Any, value: Any) -> Any:
+        return bool(acc and value)
+
+
+class MinAggregator(Aggregator):
+    def identity(self) -> Any:
+        return None
+
+    def reduce(self, acc: Any, value: Any) -> Any:
+        if acc is None:
+            return value
+        return value if value < acc else acc
+
+
+class MaxAggregator(Aggregator):
+    def identity(self) -> Any:
+        return None
+
+    def reduce(self, acc: Any, value: Any) -> Any:
+        if acc is None:
+            return value
+        return value if value > acc else acc
+
+
+class AggregatorRegistry:
+    """Holds the aggregators for one run and their per-superstep values."""
+
+    def __init__(self, aggregators: Optional[Dict[str, Aggregator]] = None):
+        self._aggregators: Dict[str, Aggregator] = dict(aggregators or {})
+        self._current: Dict[str, Any] = {
+            name: agg.identity() for name, agg in self._aggregators.items()
+        }
+        self._previous: Dict[str, Any] = dict(self._current)
+
+    def contribute(self, name: str, value: Any) -> None:
+        agg = self._aggregators.get(name)
+        if agg is None:
+            raise KeyError(f"unknown aggregator {name!r}")
+        self._current[name] = agg.reduce(self._current[name], value)
+
+    def previous(self, name: str) -> Any:
+        """Last superstep's reduced value (what vertices may read)."""
+        if name not in self._aggregators:
+            raise KeyError(f"unknown aggregator {name!r}")
+        return self._previous[name]
+
+    def roll(self) -> None:
+        """Finish a superstep: publish current values, reset accumulators."""
+        self._previous = dict(self._current)
+        self._current = {
+            name: agg.identity() for name, agg in self._aggregators.items()
+        }
+
+    def names(self):
+        return self._aggregators.keys()

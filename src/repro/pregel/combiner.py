@@ -1,0 +1,71 @@
+"""Message combiners.
+
+A combiner folds the messages headed to one destination vertex into fewer
+messages *before* they leave the sending worker — the classic Pregel
+bandwidth optimization.  Combiners must be commutative and associative.
+
+The MIS programs in this library send notification-style messages for which
+:class:`DedupCombiner` applies (two identical notifications carry no more
+information than one); generic reducers are provided for completeness and
+for user programs.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, List
+
+from repro.pregel.message import Message
+
+
+class Combiner(ABC):
+    """Reduces a list of same-destination messages from one worker."""
+
+    @abstractmethod
+    def combine(self, messages: List[Message]) -> List[Message]:
+        """Return the (smaller or equal) combined message list."""
+
+
+class NullCombiner(Combiner):
+    """No combining — every message ships individually."""
+
+    def combine(self, messages: List[Message]) -> List[Message]:
+        return messages
+
+
+class DedupCombiner(Combiner):
+    """Collapse messages with identical payloads to a single message."""
+
+    def combine(self, messages: List[Message]) -> List[Message]:
+        seen = set()
+        kept: List[Message] = []
+        for msg in messages:
+            key = msg.payload
+            try:
+                fresh = key not in seen
+            except TypeError:  # unhashable payload: keep it
+                kept.append(msg)
+                continue
+            if fresh:
+                seen.add(key)
+                kept.append(msg)
+        return kept
+
+
+class ReduceCombiner(Combiner):
+    """Fold all payloads with a binary function into a single message.
+
+    Example: ``ReduceCombiner(min)`` for shortest-path style programs.
+    """
+
+    def __init__(self, fn):
+        self._fn = fn
+
+    def combine(self, messages: List[Message]) -> List[Message]:
+        if len(messages) <= 1:
+            return messages
+        acc: Any = messages[0].payload
+        for msg in messages[1:]:
+            acc = self._fn(acc, msg.payload)
+        head = messages[0]
+        return [Message(head.source, head.dest, acc, head.payload_bytes)]

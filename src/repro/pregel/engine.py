@@ -1,0 +1,269 @@
+"""Classic message-passing Pregel engine (simulated BSP cluster).
+
+One process simulates ``W`` workers executing Bulk-Synchronous-Parallel
+supersteps.  Semantics follow Malewicz et al.:
+
+- A vertex is *active* in superstep ``s+1`` iff it received a message sent
+  during superstep ``s`` (or superstep 0, where a caller-selected set — by
+  default every vertex — is active).
+- ``compute`` sees the messages addressed to the vertex and may send
+  messages (delivered next superstep) and update the vertex's state.
+- The run terminates when no messages are in flight and no vertex is active.
+
+Costs: messages whose source and destination live on different workers are
+charged to the communication meter (framing + payload bytes, after the
+optional combiner); worker-local messages are free on the wire but still
+counted.  Compute work is whatever the program charges via
+:meth:`PregelContext.charge` (the MIS programs charge one unit per neighbour
+examined).
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Set
+
+from repro.errors import SuperstepLimitExceeded
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.graph.distributed_graph import DistributedGraph
+from repro.pregel.aggregator import Aggregator, AggregatorRegistry
+from repro.pregel.combiner import Combiner
+from repro.pregel.message import Message
+from repro.pregel.metrics import RunMetrics, SuperstepRecord
+
+
+class PregelProgram(ABC):
+    """A vertex program for the message-passing engine."""
+
+    @abstractmethod
+    def initial_state(self, dgraph: "DistributedGraph", u: int) -> Any:
+        """The state of vertex ``u`` before superstep 0."""
+
+    @abstractmethod
+    def compute(self, ctx: "PregelContext") -> None:
+        """One vertex's superstep: read ``ctx.messages``, send, set state."""
+
+    def state_bytes(self, state: Any) -> int:
+        """Modelled resident size of a vertex state (memory meter)."""
+        return 8
+
+    def aggregators(self) -> Dict[str, Aggregator]:
+        """Aggregators this program uses (empty by default)."""
+        return {}
+
+    def combiner(self) -> Optional[Combiner]:
+        """Optional message combiner applied per (worker, destination)."""
+        return None
+
+
+class PregelContext:
+    """Per-vertex view handed to :meth:`PregelProgram.compute`."""
+
+    __slots__ = (
+        "_engine", "vertex", "superstep", "messages", "_state", "_new_state",
+        "_changed", "_work",
+    )
+
+    def __init__(self, engine: "PregelEngine", vertex: int, superstep: int,
+                 messages: List[Any], state: Any):
+        self._engine = engine
+        self.vertex = vertex
+        self.superstep = superstep
+        #: payloads of messages received this superstep
+        self.messages = messages
+        self._state = state
+        self._new_state = state
+        self._changed = False
+        self._work = 0
+
+    # -- state ---------------------------------------------------------
+    @property
+    def state(self) -> Any:
+        """Current state (new value if already set this superstep)."""
+        return self._new_state
+
+    def set_state(self, new_state: Any) -> None:
+        """Replace the vertex state; change detection is by ``!=``."""
+        self._new_state = new_state
+        self._changed = new_state != self._state
+
+    # -- topology ------------------------------------------------------
+    def neighbors(self) -> Set[int]:
+        """This vertex's neighbour ids (local adjacency)."""
+        return self._engine.dgraph.neighbors(self.vertex)
+
+    def degree(self) -> int:
+        return self._engine.dgraph.degree(self.vertex)
+
+    @property
+    def num_vertices(self) -> int:
+        return self._engine.dgraph.graph.num_vertices
+
+    # -- messaging -----------------------------------------------------
+    def send(self, dest: int, payload: Any, payload_bytes: int) -> None:
+        """Send a message to ``dest`` (delivered and activates next superstep)."""
+        self._engine._outbox.append(
+            Message(self.vertex, dest, payload, payload_bytes)
+        )
+
+    def broadcast(self, payload: Any, payload_bytes: int) -> None:
+        """Send the same message to every neighbour."""
+        for v in self.neighbors():
+            self.send(v, payload, payload_bytes)
+
+    # -- bookkeeping ---------------------------------------------------
+    def charge(self, work: int = 1) -> None:
+        """Account ``work`` compute units (e.g. neighbour comparisons)."""
+        self._work += work
+
+    def aggregate(self, name: str, value: Any) -> None:
+        """Contribute to a named aggregator (visible next superstep)."""
+        self._engine._aggregators.contribute(name, value)
+
+    def aggregated(self, name: str) -> Any:
+        """Read last superstep's reduced aggregator value."""
+        return self._engine._aggregators.previous(name)
+
+
+@dataclass
+class PregelResult:
+    """Final vertex states plus the run's metrics."""
+
+    states: Dict[int, Any]
+    metrics: RunMetrics
+    aggregates: Dict[str, Any] = field(default_factory=dict)
+
+
+class PregelEngine:
+    """Executes a :class:`PregelProgram` over a :class:`DistributedGraph`."""
+
+    def __init__(self, dgraph: "DistributedGraph"):
+        self.dgraph = dgraph
+        self._outbox: List[Message] = []
+        self._aggregators = AggregatorRegistry()
+
+    def run(
+        self,
+        program: PregelProgram,
+        initial_active: Optional[Iterable[int]] = None,
+        max_supersteps: Optional[int] = None,
+        states: Optional[Dict[int, Any]] = None,
+    ) -> PregelResult:
+        """Run ``program`` to quiescence and return states + metrics.
+
+        ``initial_active`` defaults to all vertices (static computation);
+        dynamic callers pass the affected set.  ``states`` lets a caller
+        resume from previously computed states (dynamic maintenance);
+        otherwise states come from :meth:`PregelProgram.initial_state`.
+
+        Raises :class:`SuperstepLimitExceeded` if the program does not
+        converge within ``max_supersteps`` (default ``4n + 16``, safely above
+        the paper's ``O(n)`` bound).
+        """
+        graph = self.dgraph.graph
+        metrics = RunMetrics(num_workers=self.dgraph.num_workers)
+        started = time.perf_counter()
+
+        if states is None:
+            states = {
+                u: program.initial_state(self.dgraph, u) for u in graph.vertices()
+            }
+        if max_supersteps is None:
+            max_supersteps = 4 * max(graph.num_vertices, 1) + 16
+
+        self._aggregators = AggregatorRegistry(program.aggregators())
+        combiner = program.combiner()
+
+        if initial_active is None:
+            active: List[int] = graph.sorted_vertices()
+        else:
+            active = sorted({u for u in initial_active if graph.has_vertex(u)})
+        inbox: Dict[int, List[Any]] = {}
+        superstep = 0
+
+        while active or inbox:
+            if superstep >= max_supersteps:
+                raise SuperstepLimitExceeded(max_supersteps)
+            record = SuperstepRecord(superstep=superstep)
+            record.worker_work = [0] * self.dgraph.num_workers
+            self._outbox = []
+            new_states: Dict[int, Any] = {}
+
+            for u in active:
+                ctx = PregelContext(
+                    self, u, superstep, inbox.get(u, []), states[u]
+                )
+                program.compute(ctx)
+                record.active_vertices += 1
+                record.compute_work += ctx._work
+                record.worker_work[self.dgraph.worker_of(u)] += max(ctx._work, 1)
+                if ctx._changed:
+                    new_states[u] = ctx._new_state
+                    record.state_changes += 1
+
+            states.update(new_states)
+
+            # --- deliver messages (with combining, cost accounting) ----
+            outbox = self._outbox
+            if combiner is not None and outbox:
+                outbox = self._apply_combiner(combiner, outbox)
+            inbox = {}
+            queue_bytes = 0
+            for msg in outbox:
+                if not graph.has_vertex(msg.dest):
+                    continue  # racing with vertex deletion: drop
+                record.messages += 1
+                if self.dgraph.is_remote_pair(msg.source, msg.dest):
+                    record.remote_messages += 1
+                    record.bytes_sent += msg.wire_bytes()
+                queue_bytes += msg.wire_bytes()
+                inbox.setdefault(msg.dest, []).append(msg.payload)
+
+            metrics.observe(record)
+            self._aggregators.roll()
+            active = sorted(inbox)
+            superstep += 1
+
+            # memory snapshot: structure + in-flight queue
+            if superstep == 1 or queue_bytes:
+                per_worker = self._memory_snapshot(program, states, inbox)
+                metrics.observe_memory(per_worker)
+
+        if metrics.peak_worker_memory_bytes == 0:
+            metrics.observe_memory(self._memory_snapshot(program, states, {}))
+        metrics.wall_time_s = time.perf_counter() - started
+        aggregates = {
+            name: self._aggregators.previous(name)
+            for name in self._aggregators.names()
+        }
+        return PregelResult(states=states, metrics=metrics, aggregates=aggregates)
+
+    # ------------------------------------------------------------------
+    def _apply_combiner(
+        self, combiner: Combiner, outbox: List[Message]
+    ) -> List[Message]:
+        """Combine messages per (sending worker, destination vertex)."""
+        groups: Dict[tuple, List[Message]] = {}
+        for msg in outbox:
+            key = (self.dgraph.worker_of(msg.source), msg.dest)
+            groups.setdefault(key, []).append(msg)
+        combined: List[Message] = []
+        for key in sorted(groups):
+            combined.extend(combiner.combine(groups[key]))
+        return combined
+
+    def _memory_snapshot(
+        self,
+        program: PregelProgram,
+        states: Dict[int, Any],
+        inbox: Dict[int, List[Any]],
+    ) -> Dict[int, int]:
+        state_bytes = {u: program.state_bytes(s) for u, s in states.items()}
+        per_worker = self.dgraph.structural_memory_bytes(state_bytes)
+        for dest, payloads in inbox.items():
+            per_worker[self.dgraph.worker_of(dest)] += 16 * len(payloads)
+        return per_worker

@@ -1,0 +1,27 @@
+"""Message type for the message-passing (classic Pregel) engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.pregel.metrics import MESSAGE_OVERHEAD_BYTES
+
+
+@dataclass(frozen=True)
+class Message:
+    """A vertex-to-vertex message.
+
+    ``payload`` is opaque to the engine; ``payload_bytes`` is the modelled
+    serialized size, charged (plus framing overhead) only when the message
+    crosses a worker boundary.
+    """
+
+    source: int
+    dest: int
+    payload: Any
+    payload_bytes: int
+
+    def wire_bytes(self) -> int:
+        """Bytes this message costs on the interconnect."""
+        return MESSAGE_OVERHEAD_BYTES + self.payload_bytes

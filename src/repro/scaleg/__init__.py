@@ -1,0 +1,14 @@
+"""ScaleG: the synchronization-based vertex-centric runtime."""
+
+from repro.scaleg.engine import ScaleGContext, ScaleGEngine, ScaleGProgram, ScaleGResult
+from repro.scaleg.guest import InvertedActivationIndex, build_all_indexes, replication_report
+
+__all__ = [
+    "InvertedActivationIndex",
+    "ScaleGContext",
+    "ScaleGEngine",
+    "ScaleGProgram",
+    "ScaleGResult",
+    "build_all_indexes",
+    "replication_report",
+]

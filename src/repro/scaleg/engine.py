@@ -1,0 +1,331 @@
+"""ScaleG: synchronization-based vertex-centric engine.
+
+ScaleG (Wang et al., TKDE 2021) is the Pregel variation the paper deploys
+on.  Instead of per-edge messages, every vertex ``u`` keeps a *guest copy*
+of its state on each other machine hosting a neighbour of ``u``; at the end
+of a superstep, changed states are synced **once per machine** and remote
+neighbours are activated through the guest's inverted index.  Every vertex
+can therefore read all neighbours' states locally in the next superstep —
+exactly what OIMIS's line 5 needs.
+
+Semantics implemented here:
+
+- BSP with double-buffered states: ``compute`` for superstep ``s`` reads the
+  states as of the end of superstep ``s-1`` (its own included).
+- A vertex runs in superstep ``s+1`` iff something activated it during
+  superstep ``s`` (programs activate explicitly; the engine never
+  auto-activates).
+- Cost accounting per superstep:
+  * each changed vertex ships ``id + sync_bytes(state)`` (+framing) to each
+    guest machine;
+  * each remotely-activated neighbour adds a compact activation entry,
+    piggybacked on the sync record when the activator changed state, or a
+    standalone small message otherwise;
+  * worker-local syncs and activations are free on the wire.
+- Compute work: one unit per neighbour-state read
+  (:meth:`ScaleGContext.neighbor_state` / :meth:`ScaleGContext.rank_of`),
+  so an early-``break`` scan (OIMIS line 8) is measurably cheaper than a
+  full scan (the SCALL baseline).
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.errors import SuperstepLimitExceeded
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.graph.distributed_graph import DistributedGraph
+from repro.pregel.metrics import (
+    ACTIVATION_ENTRY_BYTES,
+    MESSAGE_OVERHEAD_BYTES,
+    VERTEX_ID_BYTES,
+    RunMetrics,
+    SuperstepRecord,
+)
+
+
+class ScaleGProgram(ABC):
+    """A vertex program for the synchronization-based engine."""
+
+    @abstractmethod
+    def initial_state(self, dgraph: "DistributedGraph", u: int) -> Any:
+        """State of ``u`` before the first superstep."""
+
+    @abstractmethod
+    def compute(self, ctx: "ScaleGContext") -> None:
+        """One vertex's superstep: read neighbour states, set own state,
+        request activations."""
+
+    @abstractmethod
+    def sync_bytes(self, state: Any) -> int:
+        """Serialized size of ``state`` when synced to a guest copy."""
+
+    def state_bytes(self, state: Any) -> int:
+        """Resident size of ``state`` (memory meter); defaults to sync size."""
+        return self.sync_bytes(state)
+
+
+class ScaleGContext:
+    """Per-vertex view handed to :meth:`ScaleGProgram.compute`."""
+
+    __slots__ = ("_engine", "vertex", "superstep", "_old", "_new", "_changed",
+                 "_work", "_activations", "_force_sync")
+
+    def __init__(self, engine: "ScaleGEngine", vertex: int, superstep: int,
+                 state: Any):
+        self._engine = engine
+        self.vertex = vertex
+        self.superstep = superstep
+        self._old = state
+        self._new = state
+        self._changed = False
+        self._work = 0
+        self._activations: List[Tuple[int, Any]] = []
+        self._force_sync = False
+
+    # -- own state -----------------------------------------------------
+    @property
+    def state(self) -> Any:
+        """Own state (the value being written this superstep)."""
+        return self._new
+
+    def set_state(self, new_state: Any) -> None:
+        self._new = new_state
+        self._changed = new_state != self._old
+
+    @property
+    def changed(self) -> bool:
+        """Whether :meth:`set_state` changed the value this superstep."""
+        return self._changed
+
+    # -- neighbour reads (each charged one work unit) -------------------
+    def neighbor_state(self, v: int) -> Any:
+        """State of neighbour ``v`` as of the previous superstep.
+
+        Served from the local guest copy — free on the wire, one compute
+        unit on the meter.
+        """
+        self._work += 1
+        return self._engine._states[v]
+
+    def rank_of(self, v: int) -> Tuple[int, int]:
+        """``(degree, id)`` of ``v`` — the paper's total order ``≺`` key.
+
+        Degrees live with the (guest) vertex record, so this is a local
+        read; charged with the accompanying state read, not separately.
+        """
+        return (self._engine.dgraph.degree(v), v)
+
+    def neighbors(self) -> Set[int]:
+        return self._engine.dgraph.neighbors(self.vertex)
+
+    def sorted_neighbors(self) -> List[int]:
+        """Neighbours in ascending id order (deterministic scans)."""
+        return sorted(self._engine.dgraph.neighbors(self.vertex))
+
+    def degree(self) -> int:
+        return self._engine.dgraph.degree(self.vertex)
+
+    # -- activation ------------------------------------------------------
+    def activate(self, v: int, predicate: Any = None) -> None:
+        """Schedule ``v`` to run in the next superstep.
+
+        ``predicate``, if given, is ``f(source_state, target_state) -> bool``
+        evaluated *after* every vertex's new state is applied — i.e. against
+        the end-of-superstep states, which is what a real ScaleG deployment
+        sees when the guest sync lands.  A false predicate drops the
+        activation before it is shipped (no wire cost).  The same-status
+        optimization (Lemma 5.2) needs exactly this: comparing statuses at
+        the end of the superstep, not mid-compute snapshots.
+        """
+        self._activations.append((v, predicate))
+
+    def force_sync(self) -> None:
+        """Ship this vertex's state to its guest copies even if unchanged.
+
+        Models DisMIS's synchronization superstep (Algorithm 1 line 22),
+        where still-``Unknown`` vertices re-broadcast ``(id, status, info)``
+        each round — the main source of DisMIS's extra communication that
+        Table II measures.
+        """
+        self._force_sync = True
+
+    def charge(self, work: int = 1) -> None:
+        """Account extra compute units beyond neighbour reads."""
+        self._work += work
+
+
+@dataclass
+class ScaleGResult:
+    """Final vertex states plus the run's metrics."""
+
+    states: Dict[int, Any]
+    metrics: RunMetrics
+
+
+class ScaleGEngine:
+    """Executes a :class:`ScaleGProgram` over a :class:`DistributedGraph`.
+
+    The engine can be reused across runs on the same (mutating) graph: the
+    dynamic maintenance driver keeps one engine, mutates the graph between
+    runs, and passes the previous run's states back in.
+    """
+
+    def __init__(self, dgraph: "DistributedGraph"):
+        self.dgraph = dgraph
+        self._states: Dict[int, Any] = {}
+
+    def run(
+        self,
+        program: ScaleGProgram,
+        initial_active: Optional[Iterable[int]] = None,
+        max_supersteps: Optional[int] = None,
+        states: Optional[Dict[int, Any]] = None,
+        metrics: Optional[RunMetrics] = None,
+        keep_records: bool = True,
+    ) -> ScaleGResult:
+        """Run ``program`` until no vertex is active.
+
+        ``initial_active`` defaults to all vertices (static computation).
+        ``states`` resumes from existing states (dynamic maintenance).
+        ``metrics`` lets callers accumulate multiple runs into one meter.
+        ``keep_records`` disables per-superstep record retention for very
+        long update streams (the aggregate counters still accumulate).
+        """
+        graph = self.dgraph.graph
+        own_metrics = metrics if metrics is not None else RunMetrics(
+            num_workers=self.dgraph.num_workers
+        )
+        started = time.perf_counter()
+
+        if states is None:
+            states = {
+                u: program.initial_state(self.dgraph, u) for u in graph.vertices()
+            }
+        self._states = states
+        if max_supersteps is None:
+            max_supersteps = 4 * max(graph.num_vertices, 1) + 16
+
+        if initial_active is None:
+            active: List[int] = graph.sorted_vertices()
+        else:
+            active = sorted({u for u in initial_active if graph.has_vertex(u)})
+
+        superstep = 0
+        ran_supersteps = 0
+        while active:
+            if ran_supersteps >= max_supersteps:
+                raise SuperstepLimitExceeded(max_supersteps)
+            record = SuperstepRecord(superstep=superstep)
+            record.worker_work = [0] * self.dgraph.num_workers
+
+            new_states: Dict[int, Any] = {}
+            changed: List[int] = []
+            forced: List[int] = []
+            activations: List[Tuple[int, int, Any]] = []  # (src, dst, pred)
+
+            for u in active:
+                ctx = ScaleGContext(self, u, superstep, states[u])
+                program.compute(ctx)
+                record.active_vertices += 1
+                record.compute_work += ctx._work
+                record.worker_work[self.dgraph.worker_of(u)] += max(ctx._work, 1)
+                if ctx._changed:
+                    new_states[u] = ctx._new
+                    changed.append(u)
+                elif ctx._force_sync:
+                    forced.append(u)
+                for v, predicate in ctx._activations:
+                    activations.append((u, v, predicate))
+
+            states.update(new_states)
+
+            # --- charge state sync: once per (synced vertex, guest machine)
+            changed_set = set(changed)
+            for u in changed:
+                record.state_changes += 1
+            for u in changed + forced:
+                payload = VERTEX_ID_BYTES + program.sync_bytes(states[u])
+                for _machine in self.dgraph.guest_machines(u):
+                    record.remote_messages += 1
+                    record.bytes_sent += MESSAGE_OVERHEAD_BYTES + payload
+
+            # --- filter + charge activation routing, build next active ----
+            synced_set = changed_set.union(forced)
+            next_active: Set[int] = set()
+            for source, target, predicate in activations:
+                if not graph.has_vertex(target):
+                    continue
+                if predicate is not None and not predicate(
+                    states[source], states[target]
+                ):
+                    continue
+                next_active.add(target)
+                record.messages += 1
+                if self.dgraph.is_remote_pair(source, target):
+                    record.remote_messages += 1
+                    if source in synced_set:
+                        # piggybacked on the sync record already shipped to
+                        # the target's machine
+                        record.bytes_sent += ACTIVATION_ENTRY_BYTES
+                    else:
+                        record.bytes_sent += (
+                            MESSAGE_OVERHEAD_BYTES + VERTEX_ID_BYTES
+                        )
+            own_metrics.observe(record, keep_record=keep_records)
+            active = sorted(next_active)
+            superstep += 1
+            ran_supersteps += 1
+
+        per_worker = self._memory_snapshot(program, states)
+        own_metrics.observe_memory(per_worker)
+        own_metrics.wall_time_s += time.perf_counter() - started
+        return ScaleGResult(states=states, metrics=own_metrics)
+
+    # ------------------------------------------------------------------
+    def charge_graph_update(
+        self,
+        endpoints: Iterable[int],
+        new_guest_copies: int,
+        program: ScaleGProgram,
+        states: Dict[int, Any],
+        metrics: RunMetrics,
+    ) -> None:
+        """Charge the communication a graph update itself costs.
+
+        Per the paper (Section IV-A): an edge update changes the degrees of
+        its endpoints, and "the updated degree of a vertex will be sent to
+        its copies in other machines".  Additionally, a brand-new guest copy
+        (an endpoint becomes adjacent to a machine that had no replica)
+        ships the full vertex state once.
+        """
+        from repro.pregel.metrics import DEGREE_BYTES
+
+        for u in endpoints:
+            if not self.dgraph.has_vertex(u):
+                continue
+            copies = len(self.dgraph.guest_machines(u))
+            metrics.bytes_sent += copies * (
+                MESSAGE_OVERHEAD_BYTES + VERTEX_ID_BYTES + DEGREE_BYTES
+            )
+            metrics.remote_messages += copies
+        if new_guest_copies:
+            sample = next(iter(states.values()), None)
+            payload = VERTEX_ID_BYTES + (
+                program.sync_bytes(sample) if sample is not None else 8
+            )
+            metrics.bytes_sent += new_guest_copies * (
+                MESSAGE_OVERHEAD_BYTES + payload
+            )
+            metrics.remote_messages += new_guest_copies
+
+    def _memory_snapshot(
+        self, program: ScaleGProgram, states: Dict[int, Any]
+    ) -> Dict[int, int]:
+        state_bytes = {u: program.state_bytes(s) for u, s in states.items()}
+        return self.dgraph.structural_memory_bytes(state_bytes)

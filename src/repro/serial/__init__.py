@@ -1,0 +1,33 @@
+"""Single-machine comparators used in the paper's evaluation."""
+
+from repro.serial.arw import arw_mis
+from repro.serial.degeneracy import DGOne, DGTwo, degeneracy, degeneracy_order
+from repro.serial.greedy import greedy_mis, greedy_mis_arbitrary_order, luby_mis
+from repro.serial.memory_model import (
+    MemoryModel,
+    SCALED_SINGLE_MACHINE_BUDGET_MB,
+)
+from repro.serial.exact import approximation_ratio, exact_mis, independence_number
+from repro.serial.reducing_peeling import reducing_peeling_mis
+from repro.serial.swap import DOSwap, DTSwap, LazyDOSwap, LazyDTSwap
+
+__all__ = [
+    "DGOne",
+    "DGTwo",
+    "DOSwap",
+    "DTSwap",
+    "LazyDOSwap",
+    "LazyDTSwap",
+    "MemoryModel",
+    "SCALED_SINGLE_MACHINE_BUDGET_MB",
+    "approximation_ratio",
+    "arw_mis",
+    "exact_mis",
+    "independence_number",
+    "degeneracy",
+    "degeneracy_order",
+    "greedy_mis",
+    "greedy_mis_arbitrary_order",
+    "luby_mis",
+    "reducing_peeling_mis",
+]

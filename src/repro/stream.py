@@ -1,0 +1,203 @@
+"""Streaming session layer: continuous maintenance over an event stream.
+
+The paper's maintainer consumes explicit batches; real deployments see an
+*event stream* (edges appearing/disappearing with timestamps) and must
+decide when to cut batches.  :class:`StreamingSession` wraps any maintainer
+with the ``apply_batch`` interface and provides:
+
+- **windowing** — events buffer until ``window_size`` operations or, when a
+  ``window_interval`` is set, until an event's timestamp crosses the
+  current window's end (count- and time-based triggers compose);
+- **membership deltas** — each flushed window reports exactly which
+  vertices entered/left the maintained set, so applications (alerting,
+  cache invalidation, reward accounting) react to changes instead of
+  re-reading the whole set;
+- **history** — per-window cost accounting (ops, supersteps,
+  communication), the stream-level counterpart of the paper's Fig. 13
+  measurements.
+
+Batch-size choice is the Fig. 11 trade-off: bigger windows amortize
+supersteps and sync, smaller windows bound staleness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Set
+
+from repro.errors import WorkloadError
+from repro.graph.updates import EdgeUpdate
+
+
+@dataclass
+class WindowReport:
+    """What one flushed window did."""
+
+    index: int
+    operations: int
+    set_size: int
+    entered: Set[int] = field(default_factory=set)
+    left: Set[int] = field(default_factory=set)
+    supersteps: int = 0
+    communication_mb: float = 0.0
+    wall_time_s: float = 0.0
+    #: timestamp of the first event in the window (None when untimed)
+    started_at: Optional[float] = None
+
+    @property
+    def churn(self) -> int:
+        """Vertices whose membership changed in this window."""
+        return len(self.entered) + len(self.left)
+
+
+class StreamingSession:
+    """Windowed event feed into a dynamic MIS maintainer.
+
+    Parameters
+    ----------
+    maintainer:
+        Anything with ``apply_batch(ops)`` / ``independent_set()`` /
+        ``update_metrics`` — a :class:`~repro.core.maintainer.MISMaintainer`,
+        any baseline from :func:`~repro.core.baselines.make_algorithm`, or
+        the weighted maintainer.
+    window_size:
+        Flush after this many buffered operations (default 100).
+    window_interval:
+        When set, also flush before accepting an event whose timestamp is
+        ``>= window_start + window_interval``.  Timestamps must be
+        non-decreasing.
+    on_window:
+        Optional callback invoked with each :class:`WindowReport`.
+    """
+
+    def __init__(
+        self,
+        maintainer,
+        window_size: int = 100,
+        window_interval: Optional[float] = None,
+        on_window: Optional[Callable[[WindowReport], None]] = None,
+    ):
+        if window_size < 1:
+            raise WorkloadError(f"window_size must be >= 1, got {window_size}")
+        if window_interval is not None and window_interval <= 0:
+            raise WorkloadError("window_interval must be positive")
+        self.maintainer = maintainer
+        self.window_size = window_size
+        self.window_interval = window_interval
+        self.on_window = on_window
+        self.history: List[WindowReport] = []
+        self._buffer: List[EdgeUpdate] = []
+        self._window_start_ts: Optional[float] = None
+        self._last_ts: Optional[float] = None
+        self._membership: Set[int] = set(maintainer.independent_set())
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Buffered operations not yet applied."""
+        return len(self._buffer)
+
+    @property
+    def windows_flushed(self) -> int:
+        return len(self.history)
+
+    def independent_set(self) -> Set[int]:
+        """The maintained set as of the last flush (buffered ops excluded)."""
+        return set(self._membership)
+
+    # ------------------------------------------------------------------
+    def offer(self, op: EdgeUpdate, timestamp: Optional[float] = None):
+        """Feed one event; returns the :class:`WindowReport` if it caused a
+        flush (of the *previous* window), else ``None``."""
+        if self._closed:
+            raise WorkloadError("session is closed")
+        if timestamp is not None:
+            if self._last_ts is not None and timestamp < self._last_ts:
+                raise WorkloadError(
+                    f"timestamps must be non-decreasing ({timestamp} < {self._last_ts})"
+                )
+            self._last_ts = timestamp
+        report = None
+        if (
+            self.window_interval is not None
+            and timestamp is not None
+            and self._window_start_ts is not None
+            and self._buffer
+            and timestamp >= self._window_start_ts + self.window_interval
+        ):
+            report = self.flush()
+        if not self._buffer:
+            self._window_start_ts = timestamp
+        self._buffer.append(op)
+        if len(self._buffer) >= self.window_size:
+            report = self.flush()
+        return report
+
+    def offer_many(
+        self, operations: Sequence[EdgeUpdate], timestamps: Optional[Sequence[float]] = None
+    ) -> List[WindowReport]:
+        """Feed a sequence of events; returns the reports of all flushes."""
+        reports = []
+        for i, op in enumerate(operations):
+            ts = timestamps[i] if timestamps is not None else None
+            report = self.offer(op, timestamp=ts)
+            if report is not None:
+                reports.append(report)
+        return reports
+
+    def flush(self) -> Optional[WindowReport]:
+        """Apply the buffered window now; returns its report (None if empty)."""
+        if not self._buffer:
+            return None
+        metrics = self.maintainer.update_metrics
+        before = (metrics.supersteps, metrics.bytes_sent, metrics.wall_time_s)
+        ops = self._buffer
+        self._buffer = []
+        started_at = self._window_start_ts
+        self._window_start_ts = None
+        self.maintainer.apply_batch(ops)
+        current = set(self.maintainer.independent_set())
+        report = WindowReport(
+            index=len(self.history),
+            operations=len(ops),
+            set_size=len(current),
+            entered=current - self._membership,
+            left=self._membership - current,
+            supersteps=metrics.supersteps - before[0],
+            communication_mb=(metrics.bytes_sent - before[1]) / (1024.0 * 1024.0),
+            wall_time_s=metrics.wall_time_s - before[2],
+            started_at=started_at,
+        )
+        self._membership = current
+        self.history.append(report)
+        if self.on_window is not None:
+            self.on_window(report)
+        return report
+
+    def close(self) -> Optional[WindowReport]:
+        """Flush any remaining events and refuse further offers."""
+        report = self.flush()
+        self._closed = True
+        return report
+
+    def __enter__(self) -> "StreamingSession":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
+        else:
+            self._closed = True
+
+    # ------------------------------------------------------------------
+    def totals(self) -> dict:
+        """Aggregate statistics across all flushed windows."""
+        return {
+            "windows": len(self.history),
+            "operations": sum(r.operations for r in self.history),
+            "churn": sum(r.churn for r in self.history),
+            "supersteps": sum(r.supersteps for r in self.history),
+            "communication_mb": sum(r.communication_mb for r in self.history),
+            "wall_time_s": sum(r.wall_time_s for r in self.history),
+        }

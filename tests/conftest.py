@@ -1,0 +1,77 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.generators import (
+    complete_bipartite,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    path_graph,
+    star_graph,
+)
+
+
+@pytest.fixture
+def triangle() -> DynamicGraph:
+    return DynamicGraph.from_edges([(1, 2), (2, 3), (1, 3)])
+
+
+@pytest.fixture
+def path5() -> DynamicGraph:
+    """Path 0-1-2-3-4; greedy MIS is {0, 2, 4}."""
+    return path_graph(5)
+
+
+@pytest.fixture
+def star6() -> DynamicGraph:
+    """Star with centre 0 and leaves 1..6; greedy MIS is the leaves."""
+    return star_graph(6)
+
+
+@pytest.fixture
+def paper_figure_graph() -> DynamicGraph:
+    """The 5-vertex graph of the paper's Fig. 1.
+
+    u1..u5 as ids 1..5: edges (u1,u2), (u2,u3), (u3,u4)... we use the layout
+    where the MIS {u1, u3, u4} of Fig. 1 arises under the degree order:
+    u2 adjacent to u1,u3,u5; u5 adjacent to u2,u4 is NOT in it.  Concretely:
+    edges (1,2), (2,3), (2,5), (4,5).  deg: u2=3, u5=2, others 1 —
+    greedy picks 1, 3, 4 then blocks 5 and 2.
+    """
+    return DynamicGraph.from_edges([(1, 2), (2, 3), (2, 5), (4, 5)])
+
+
+@pytest.fixture
+def random_graph() -> DynamicGraph:
+    return erdos_renyi(60, 180, seed=7)
+
+
+def random_graphs(count: int, n_range=(4, 50), density=3.0, seed: int = 0):
+    """A deterministic batch of random test graphs (helper, not a fixture)."""
+    rng = random.Random(seed)
+    graphs = []
+    for i in range(count):
+        n = rng.randint(*n_range)
+        m = rng.randint(0, min(n * (n - 1) // 2, int(density * n)))
+        graphs.append(erdos_renyi(n, m, seed=seed * 1000 + i))
+    return graphs
+
+
+STRUCTURED_GRAPH_BUILDERS = {
+    "path10": lambda: path_graph(10),
+    "cycle9": lambda: cycle_graph(9),
+    "star8": lambda: star_graph(8),
+    "K6": lambda: complete_graph(6),
+    "K3_4": lambda: complete_bipartite(3, 4),
+}
+
+
+@pytest.fixture(params=sorted(STRUCTURED_GRAPH_BUILDERS))
+def structured_graph(request) -> DynamicGraph:
+    return STRUCTURED_GRAPH_BUILDERS[request.param]()

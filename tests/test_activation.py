@@ -1,0 +1,71 @@
+"""Unit tests for the activation strategies in isolation."""
+
+from repro.core.activation import ActivationStrategy, activation_requests
+from repro.graph.distributed_graph import DistributedGraph
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.pregel.partition import HashPartitioner
+from repro.scaleg.engine import ScaleGContext, ScaleGEngine
+
+
+def _context_for(graph, vertex, states):
+    dgraph = DistributedGraph(graph, HashPartitioner(2))
+    engine = ScaleGEngine(dgraph)
+    engine._states = dict(states)
+    return ScaleGContext(engine, vertex, superstep=1, state=states[vertex])
+
+
+def _star_with_ranks():
+    """Centre 2 with neighbours 1, 3, 4; degrees: 2 -> 3, others 1.
+
+    Under ``≺``, every leaf dominates the centre.
+    """
+    return DynamicGraph.from_edges([(2, 1), (2, 3), (2, 4)])
+
+
+class TestTargets:
+    def test_all_strategy_targets_every_neighbor(self):
+        g = _star_with_ranks()
+        ctx = _context_for(g, 2, {1: True, 2: True, 3: False, 4: True})
+        targets = list(activation_requests(ctx, ActivationStrategy.ALL))
+        assert [t for t, _ in targets] == [1, 3, 4]
+        assert all(pred is None for _, pred in targets)
+
+    def test_lower_ranking_filters_dominators(self):
+        g = _star_with_ranks()
+        # from a leaf's perspective the centre ranks lower
+        ctx = _context_for(g, 1, {1: True, 2: True, 3: False, 4: True})
+        targets = list(activation_requests(ctx, ActivationStrategy.LOWER_RANKING))
+        assert [t for t, _ in targets] == [2]
+        # from the centre's perspective nobody ranks lower
+        ctx2 = _context_for(g, 2, {1: True, 2: True, 3: False, 4: True})
+        assert list(activation_requests(ctx2, ActivationStrategy.LOWER_RANKING)) == []
+
+    def test_same_status_attaches_predicate(self):
+        g = _star_with_ranks()
+        ctx = _context_for(g, 1, {1: True, 2: False, 3: False, 4: True})
+        targets = list(activation_requests(ctx, ActivationStrategy.SAME_STATUS))
+        assert len(targets) == 1
+        target, predicate = targets[0]
+        assert target == 2
+        assert predicate(True, True) is True
+        assert predicate(True, False) is False
+
+    def test_rank_uses_current_degrees(self):
+        g = _star_with_ranks()
+        g.add_edge(1, 3)  # leaf 1 now has degree 2
+        ctx = _context_for(g, 1, {1: True, 2: True, 3: True, 4: True})
+        targets = [t for t, _ in activation_requests(ctx, ActivationStrategy.LOWER_RANKING)]
+        # 1 (deg 2) dominates 2 (deg 3) but not 3 (deg 2, lower id than...):
+        # rank(3) = (2, 3) > rank(1) = (2, 1): 3 ranks lower -> activated
+        assert targets == [2, 3]
+
+
+class TestEnum:
+    def test_values_stable(self):
+        assert ActivationStrategy.ALL.value == "all"
+        assert ActivationStrategy.LOWER_RANKING.value == "lower_ranking"
+        assert ActivationStrategy.SAME_STATUS.value == "same_status"
+
+    def test_paper_names(self):
+        names = {s.paper_name for s in ActivationStrategy}
+        assert names == {"DOIMIS", "DOIMIS+", "DOIMIS*"}

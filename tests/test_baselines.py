@@ -1,0 +1,133 @@
+"""Unit tests for the distributed baselines (SCALL, Naive, dDisMIS)."""
+
+import pytest
+
+from repro.core.baselines import (
+    DDisMISRecompute,
+    DISTRIBUTED_ALGORITHM_NAMES,
+    NaiveRecompute,
+    make_algorithm,
+)
+from repro.core.doimis import DOIMISMaintainer
+from repro.errors import WorkloadError
+from repro.graph.generators import erdos_renyi
+from repro.graph.updates import EdgeDeletion, EdgeInsertion, VertexInsertion
+from repro.serial.greedy import greedy_mis
+
+
+@pytest.fixture
+def graph():
+    return erdos_renyi(40, 120, seed=71)
+
+
+@pytest.fixture
+def ops(graph):
+    edges = graph.sorted_edges()[:8]
+    return [EdgeDeletion(u, v) for u, v in edges]
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name", DISTRIBUTED_ALGORITHM_NAMES)
+    def test_all_names_constructible(self, name, graph):
+        alg = make_algorithm(name, graph.copy(), num_workers=4)
+        assert alg.independent_set() == greedy_mis(graph)
+
+    def test_unknown_name(self, graph):
+        with pytest.raises(WorkloadError):
+            make_algorithm("FancyMIS", graph)
+
+    def test_variant_configuration(self, graph):
+        plus = make_algorithm("DOIMIS+", graph.copy(), num_workers=4)
+        star = make_algorithm("DOIMIS*", graph.copy(), num_workers=4)
+        scall = make_algorithm("SCALL", graph.copy(), num_workers=4)
+        assert isinstance(plus, DOIMISMaintainer)
+        assert plus.strategy.name == "LOWER_RANKING"
+        assert star.strategy.name == "SAME_STATUS"
+        assert scall._program.full_scan is True
+
+
+class TestAllAgree:
+    def test_same_results_over_updates(self, graph, ops):
+        results = []
+        for name in DISTRIBUTED_ALGORITHM_NAMES:
+            alg = make_algorithm(name, graph.copy(), num_workers=4)
+            alg.apply_batch(ops)
+            results.append((name, alg.independent_set()))
+        expected = results[0][1]
+        for name, result in results:
+            assert result == expected, name
+        # and the expected set is the oracle's
+        final = graph.copy()
+        for op in ops:
+            final.remove_edge(op.u, op.v)
+        assert expected == greedy_mis(final)
+
+
+class TestRecomputeBaselines:
+    def test_naive_counts_batches(self, graph, ops):
+        naive = NaiveRecompute(graph.copy(), num_workers=4)
+        naive.apply_batch(ops[:4])
+        naive.apply_batch(ops[4:])
+        assert naive.batches_applied == 2
+        assert naive.updates_applied == len(ops)
+
+    def test_recompute_cost_dwarfs_incremental(self, graph, ops):
+        naive = NaiveRecompute(graph.copy(), num_workers=4)
+        doimis = make_algorithm("DOIMIS*", graph.copy(), num_workers=4)
+        for op in ops:
+            naive.apply_batch([op])
+            doimis.apply_batch([op])
+        assert (
+            naive.update_metrics.active_vertices
+            > doimis.update_metrics.active_vertices
+        )
+
+    def test_ddismis_more_communication_than_naive(self, graph, ops):
+        naive = NaiveRecompute(graph.copy(), num_workers=4)
+        ddis = DDisMISRecompute(graph.copy(), num_workers=4)
+        naive.apply_batch(ops)
+        ddis.apply_batch(ops)
+        assert ddis.update_metrics.bytes_sent > naive.update_metrics.bytes_sent
+
+    def test_empty_batch_noop(self, graph):
+        naive = NaiveRecompute(graph.copy(), num_workers=4)
+        naive.apply_batch([])
+        assert naive.batches_applied == 0
+
+    def test_unsupported_op_rejected(self, graph):
+        naive = NaiveRecompute(graph.copy(), num_workers=4)
+        with pytest.raises(WorkloadError):
+            naive.apply_batch([VertexInsertion(3)])
+
+    def test_apply_stream(self, graph, ops):
+        naive = NaiveRecompute(graph.copy(), num_workers=4)
+        naive.apply_stream(ops, batch_size=3)
+        assert naive.batches_applied == 3  # 8 ops in batches of 3
+
+    def test_insert_edge_supported(self, graph):
+        naive = NaiveRecompute(graph.copy(), num_workers=4)
+        non_edge = next(
+            (u, v) for u in graph.vertices() for v in graph.vertices()
+            if u < v and not graph.has_edge(u, v)
+        )
+        naive.apply_batch([EdgeInsertion(*non_edge)])
+        assert naive.independent_set() == greedy_mis(naive.graph)
+
+
+class TestScallSemantics:
+    def test_scall_same_communication_as_doimis(self, graph, ops):
+        """Fig. 10(c): SCALL and plain DOIMIS ship identical bytes."""
+        scall = make_algorithm("SCALL", graph.copy(), num_workers=4)
+        doimis = make_algorithm("DOIMIS", graph.copy(), num_workers=4)
+        for op in ops:
+            scall.apply_batch([op])
+            doimis.apply_batch([op])
+        assert scall.update_metrics.bytes_sent == doimis.update_metrics.bytes_sent
+
+    def test_scall_strictly_more_scanning(self, graph, ops):
+        scall = make_algorithm("SCALL", graph.copy(), num_workers=4)
+        doimis = make_algorithm("DOIMIS", graph.copy(), num_workers=4)
+        for op in ops:
+            scall.apply_batch([op])
+            doimis.apply_batch([op])
+        assert scall.update_metrics.compute_work > doimis.update_metrics.compute_work

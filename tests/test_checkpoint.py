@@ -1,0 +1,118 @@
+"""Tests for checkpoint save/load and update-stream file I/O."""
+
+import io
+
+import pytest
+
+from repro import MISMaintainer
+from repro.errors import ReproError
+from repro.graph.generators import erdos_renyi
+from repro.graph.io import read_update_stream, write_update_stream
+from repro.graph.updates import EdgeDeletion, EdgeInsertion
+from repro.serial.greedy import greedy_mis
+from repro.bench.workloads import delete_reinsert_workload
+
+
+class TestUpdateStreamIO:
+    def test_roundtrip(self):
+        ops = [EdgeInsertion(1, 2), EdgeDeletion(3, 4), EdgeInsertion(5, 6)]
+        buffer = io.StringIO()
+        write_update_stream(ops, buffer)
+        buffer.seek(0)
+        assert read_update_stream(buffer) == ops
+
+    def test_aliases_and_comments(self):
+        text = "# header\ninsert 1 2\n+ 3 4\ndelete 1 2\n- 3 4\n\n"
+        ops = read_update_stream(io.StringIO(text))
+        assert ops == [
+            EdgeInsertion(1, 2), EdgeInsertion(3, 4),
+            EdgeDeletion(1, 2), EdgeDeletion(3, 4),
+        ]
+
+    def test_malformed_line(self):
+        from repro.errors import GraphError
+
+        with pytest.raises(GraphError, match="line 1"):
+            read_update_stream(io.StringIO("ins 1\n"))
+        with pytest.raises(GraphError, match="unknown operation"):
+            read_update_stream(io.StringIO("upsert 1 2\n"))
+        with pytest.raises(GraphError, match="non-integer"):
+            read_update_stream(io.StringIO("ins a b\n"))
+
+    def test_file_roundtrip(self, tmp_path):
+        ops = [EdgeInsertion(1, 2), EdgeDeletion(1, 2)]
+        path = tmp_path / "ops.txt"
+        write_update_stream(ops, path)
+        assert read_update_stream(path) == ops
+
+
+class TestCheckpoint:
+    def test_roundtrip_preserves_everything(self, tmp_path):
+        g = erdos_renyi(40, 120, seed=3)
+        m = MISMaintainer(g.copy(), num_workers=4)
+        ops = delete_reinsert_workload(g, 10, seed=1)
+        m.apply_stream(ops[:10], batch_size=5)
+        path = tmp_path / "ck.json"
+        m.save(path)
+
+        restored = MISMaintainer.load(path)
+        assert restored.graph == m.graph
+        assert restored.independent_set() == m.independent_set()
+        assert restored.updates_applied == m.updates_applied
+        assert restored.num_workers == m.num_workers
+        assert restored.strategy == m.strategy
+
+    def test_restore_skips_recomputation(self, tmp_path):
+        g = erdos_renyi(40, 120, seed=4)
+        m = MISMaintainer(g.copy(), num_workers=4)
+        path = tmp_path / "ck.json"
+        m.save(path)
+        restored = MISMaintainer.load(path)
+        # no initial OIMIS run happened: zero init supersteps
+        assert restored.init_metrics.supersteps == 0
+
+    def test_restored_maintainer_keeps_working(self, tmp_path):
+        g = erdos_renyi(40, 120, seed=5)
+        m = MISMaintainer(g.copy(), num_workers=4)
+        path = tmp_path / "ck.json"
+        m.save(path)
+        restored = MISMaintainer.load(path)
+        for u, v in restored.graph.sorted_edges()[:8]:
+            restored.delete_edge(u, v)
+        assert restored.independent_set() == greedy_mis(restored.graph)
+
+    def test_load_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"hello": "world"}')
+        with pytest.raises(ReproError, match="not a repro MIS checkpoint"):
+            MISMaintainer.load(path)
+
+    def test_load_verify_catches_tampering(self, tmp_path):
+        import json
+
+        g = erdos_renyi(30, 90, seed=6)
+        m = MISMaintainer(g.copy(), num_workers=4)
+        path = tmp_path / "ck.json"
+        m.save(path)
+        payload = json.loads(path.read_text())
+        # corrupt the stored set: drop a member so it is no longer maximal
+        payload["independent_set"] = payload["independent_set"][1:]
+        path.write_text(json.dumps(payload))
+        from repro.errors import VerificationError
+
+        with pytest.raises(VerificationError):
+            MISMaintainer.load(path)
+        # verify=False trusts the file (documented escape hatch)
+        restored = MISMaintainer.load(path, verify=False)
+        assert restored.graph == m.graph
+
+    def test_isolated_vertices_survive_checkpoint(self, tmp_path):
+        from repro.graph.dynamic_graph import DynamicGraph
+
+        g = DynamicGraph.from_edges([(1, 2)], vertices=[9])
+        m = MISMaintainer(g, num_workers=2)
+        path = tmp_path / "ck.json"
+        m.save(path)
+        restored = MISMaintainer.load(path)
+        assert restored.graph.has_vertex(9)
+        assert 9 in restored.independent_set()

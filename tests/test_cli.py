@@ -1,0 +1,139 @@
+"""Unit tests for the repro-mis command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.graph.generators import erdos_renyi
+from repro.graph.io import write_edge_list, write_update_stream
+from repro.bench.workloads import delete_reinsert_workload
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    graph = erdos_renyi(60, 180, seed=9)
+    path = tmp_path / "graph.txt"
+    write_edge_list(graph, path)
+    return str(path), graph
+
+
+@pytest.fixture
+def updates_file(tmp_path, graph_file):
+    _, graph = graph_file
+    ops = delete_reinsert_workload(graph, 20, seed=1)
+    path = tmp_path / "updates.txt"
+    write_update_stream(ops, path)
+    return str(path)
+
+
+class TestCompute:
+    def test_oimis(self, graph_file, capsys):
+        path, _ = graph_file
+        assert main(["compute", path]) == 0
+        out = capsys.readouterr().out
+        assert "independent set size:" in out
+        assert "supersteps" in out
+
+    def test_dismis_pregel(self, graph_file, capsys):
+        path, _ = graph_file
+        assert main(["compute", path, "--algorithm", "dismis",
+                     "--engine", "pregel", "--workers", "4"]) == 0
+        assert "independent set size:" in capsys.readouterr().out
+
+    def test_members_output(self, graph_file, tmp_path, capsys):
+        path, graph = graph_file
+        out_file = tmp_path / "members.txt"
+        assert main(["compute", path, "-o", str(out_file)]) == 0
+        members = [int(line) for line in out_file.read_text().splitlines()]
+        from repro.serial.greedy import greedy_mis
+
+        assert set(members) == greedy_mis(graph)
+
+    def test_engines_agree(self, graph_file, tmp_path):
+        path, _ = graph_file
+        a, b = tmp_path / "a.txt", tmp_path / "b.txt"
+        main(["compute", path, "--engine", "scaleg", "-o", str(a)])
+        main(["compute", path, "--engine", "pregel", "--algorithm", "oimis", "-o", str(b)])
+        assert a.read_text() == b.read_text()
+
+
+class TestMaintain:
+    def test_maintain_and_verify(self, graph_file, updates_file, capsys):
+        path, _ = graph_file
+        code = main(["maintain", updates_file, "--graph", path,
+                     "--batch-size", "10", "--verify", "--workers", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "verification passed" in out
+
+    def test_checkpoint_roundtrip(self, graph_file, updates_file, tmp_path, capsys):
+        path, _ = graph_file
+        ck = tmp_path / "ck.json"
+        main(["maintain", updates_file, "--graph", path,
+              "--checkpoint", str(ck), "--workers", "4"])
+        payload = json.loads(ck.read_text())
+        assert payload["format"] == "repro-mis-checkpoint"
+        # resume from the checkpoint and apply the stream again
+        code = main(["maintain", updates_file, "--resume", str(ck),
+                     "--batch-size", "5", "--verify"])
+        assert code == 0
+        assert "resumed checkpoint" in capsys.readouterr().out
+
+    def test_requires_graph_or_resume(self, updates_file):
+        with pytest.raises(SystemExit):
+            main(["maintain", updates_file])
+
+    def test_error_reported_as_exit_code(self, tmp_path, capsys):
+        bad = tmp_path / "bad.txt"
+        bad.write_text("ins 1\n")
+        graph = tmp_path / "g.txt"
+        graph.write_text("1 2\n")
+        assert main(["maintain", str(bad), "--graph", str(graph)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestGenerate:
+    @pytest.mark.parametrize("model,extra", [
+        ("er", ["--edges", "120"]),
+        ("ba", ["--param", "2"]),
+        ("chung_lu", ["--param", "4.0"]),
+    ])
+    def test_models(self, model, extra, tmp_path, capsys):
+        out = tmp_path / "g.txt"
+        assert main(["generate", model, "--n", "80", "-o", str(out)] + extra) == 0
+        from repro.graph.io import read_edge_list
+
+        graph = read_edge_list(out)
+        assert graph.num_vertices > 0
+
+    def test_dataset_standin(self, tmp_path):
+        out = tmp_path / "ski.txt"
+        assert main(["generate", "dataset", "--dataset", "SL", "-o", str(out)]) == 0
+        from repro.graph.io import read_edge_list
+
+        assert read_edge_list(out).num_edges == 4900
+
+    def test_dataset_requires_tag(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["generate", "dataset", "-o", str(tmp_path / "x.txt")])
+
+    def test_workload_written(self, tmp_path):
+        out = tmp_path / "g.txt"
+        main(["generate", "er", "--n", "50", "--edges", "100",
+              "-o", str(out), "--workload", "10"])
+        from repro.graph.io import read_update_stream
+
+        ops = read_update_stream(str(out) + ".updates")
+        assert len(ops) == 20
+
+
+class TestInfoCommands:
+    def test_datasets_listing(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "Slashdot" in out and "GSH" in out
+
+    def test_bench_fig13(self, capsys):
+        assert main(["bench", "fig13"]) == 0
+        assert "experiment fig13" in capsys.readouterr().out

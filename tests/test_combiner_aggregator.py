@@ -1,0 +1,80 @@
+"""Unit tests for combiners and aggregators in isolation."""
+
+import pytest
+
+from repro.pregel.aggregator import (
+    AggregatorRegistry,
+    AndAggregator,
+    MaxAggregator,
+    MinAggregator,
+    OrAggregator,
+    SumAggregator,
+)
+from repro.pregel.combiner import DedupCombiner, NullCombiner, ReduceCombiner
+from repro.pregel.message import Message
+
+
+def _msgs(payloads):
+    return [Message(0, 1, p, 8) for p in payloads]
+
+
+class TestCombiners:
+    def test_null_combiner_passthrough(self):
+        msgs = _msgs([1, 1, 2])
+        assert NullCombiner().combine(msgs) == msgs
+
+    def test_dedup(self):
+        out = DedupCombiner().combine(_msgs([1, 1, 2, 1]))
+        assert [m.payload for m in out] == [1, 2]
+
+    def test_dedup_keeps_unhashable(self):
+        out = DedupCombiner().combine(_msgs([[1], [1]]))
+        assert len(out) == 2
+
+    def test_reduce_min(self):
+        out = ReduceCombiner(min).combine(_msgs([5, 2, 9]))
+        assert len(out) == 1 and out[0].payload == 2
+
+    def test_reduce_single_message(self):
+        msgs = _msgs([7])
+        assert ReduceCombiner(min).combine(msgs) == msgs
+
+    def test_message_wire_bytes(self):
+        assert Message(0, 1, "x", 5).wire_bytes() == 8 + 5
+
+
+class TestAggregators:
+    @pytest.mark.parametrize(
+        "agg,values,expected",
+        [
+            (SumAggregator(), [1, 2, 3], 6),
+            (OrAggregator(), [False, True], True),
+            (OrAggregator(), [], False),
+            (AndAggregator(), [True, False], False),
+            (AndAggregator(), [], True),
+            (MinAggregator(), [3, 1, 2], 1),
+            (MaxAggregator(), [3, 1, 2], 3),
+        ],
+    )
+    def test_reduction(self, agg, values, expected):
+        acc = agg.identity()
+        for v in values:
+            acc = agg.reduce(acc, v)
+        assert acc == expected
+
+    def test_registry_rolls_per_superstep(self):
+        reg = AggregatorRegistry({"n": SumAggregator()})
+        reg.contribute("n", 2)
+        reg.contribute("n", 3)
+        assert reg.previous("n") == 0  # not yet published
+        reg.roll()
+        assert reg.previous("n") == 5
+        reg.roll()
+        assert reg.previous("n") == 0  # accumulator was reset
+
+    def test_registry_unknown_name(self):
+        reg = AggregatorRegistry()
+        with pytest.raises(KeyError):
+            reg.contribute("missing", 1)
+        with pytest.raises(KeyError):
+            reg.previous("missing")

@@ -1,0 +1,79 @@
+"""Unit tests for the dataset stand-in catalog."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.graph import datasets
+from repro.serial.memory_model import (
+    ARW_MODEL,
+    DG_TWO_MODEL,
+    LAZY_SWAP_MODEL,
+    SCALED_SINGLE_MACHINE_BUDGET_MB,
+    SWAP_MODEL,
+)
+
+
+def test_sixteen_datasets_in_table_order():
+    tags = datasets.dataset_tags()
+    assert len(tags) == 16
+    assert tags[0] == "SL" and tags[-1] == "GSH"
+
+
+def test_groups_partition_the_catalog():
+    small = datasets.small_datasets()
+    large = datasets.large_datasets()
+    assert set(small) | set(large) == set(datasets.dataset_tags())
+    assert not set(small) & set(large)
+    assert "SKI" in small and "UK14" in large
+
+
+def test_spec_lookup_and_unknown_tag():
+    spec = datasets.dataset_spec("SKI")
+    assert spec.name == "Skitter"
+    assert spec.paper_vertices == 1_696_415
+    with pytest.raises(WorkloadError):
+        datasets.dataset_spec("NOPE")
+
+
+def test_load_dataset_matches_spec_exactly():
+    for tag in ("SL", "WK", "TW"):
+        spec = datasets.dataset_spec(tag)
+        g = datasets.load_dataset(tag)
+        assert g.num_vertices <= spec.n  # generators may leave isolated ids out
+        assert g.num_edges == spec.m
+
+
+def test_load_dataset_fresh_copies_are_independent():
+    a = datasets.load_dataset("SL")
+    b = datasets.load_dataset("SL")
+    edge = a.sorted_edges()[0]
+    a.remove_edge(*edge)
+    assert b.has_edge(*edge)
+
+
+def test_load_dataset_deterministic():
+    assert datasets.load_dataset("AM") == datasets.load_dataset("AM")
+
+
+def test_avg_degree_property():
+    spec = datasets.dataset_spec("SKI")
+    assert spec.avg_degree == pytest.approx(2 * spec.m / spec.n)
+
+
+@pytest.mark.parametrize(
+    "model,oom_tags",
+    [
+        (ARW_MODEL, {"UK14", "CW", "GSH"}),
+        (DG_TWO_MODEL, {"SK05", "UK06", "UK07", "UK14", "CW", "GSH"}),
+        (SWAP_MODEL, {"UK06", "UK07", "UK14", "CW", "GSH"}),
+        (LAZY_SWAP_MODEL, {"UK14", "CW", "GSH"}),
+    ],
+    ids=["ARW", "DGTwo", "DTSwap", "LazyDTSwap"],
+)
+def test_table4_oom_pattern(model, oom_tags):
+    """The stand-in sizes reproduce exactly the paper's Table IV failures."""
+    budget = SCALED_SINGLE_MACHINE_BUDGET_MB
+    for tag in datasets.dataset_tags():
+        g = datasets.load_dataset(tag, fresh=False)
+        should_oom = tag in oom_tags
+        assert (model.mb_for(g) > budget) == should_oom, tag

@@ -1,0 +1,129 @@
+"""Unit tests for degeneracy ordering and the DGOne/DGTwo maintainers."""
+
+import random
+
+import pytest
+
+from repro.core.verification import is_maximal_independent_set
+from repro.errors import MemoryBudgetExceeded
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.generators import (
+    barabasi_albert,
+    complete_graph,
+    erdos_renyi,
+    path_graph,
+    star_graph,
+)
+from repro.graph.updates import EdgeDeletion, EdgeInsertion
+from repro.serial.degeneracy import DGOne, DGTwo, degeneracy, degeneracy_order
+
+
+class TestDegeneracyOrder:
+    def test_covers_all_vertices_once(self):
+        g = erdos_renyi(40, 120, seed=1)
+        order = degeneracy_order(g)
+        assert sorted(order) == g.sorted_vertices()
+
+    def test_path_degeneracy_is_one(self):
+        assert degeneracy(path_graph(10)) == 1
+
+    def test_clique_degeneracy(self):
+        assert degeneracy(complete_graph(5)) == 4
+
+    def test_star_peels_leaves_first(self):
+        order = degeneracy_order(star_graph(5))
+        # the first peels are leaves (degree 1); the centre goes once its
+        # degree drops to 1, never while leaves of lower id remain intact
+        assert set(order[:4]) <= {1, 2, 3, 4, 5}
+        assert degeneracy(star_graph(5)) == 1
+
+    def test_ba_graph_degeneracy_equals_attachment(self):
+        g = barabasi_albert(100, 3, seed=2)
+        assert degeneracy(g) == 3
+
+    def test_empty(self):
+        assert degeneracy_order(DynamicGraph()) == []
+        assert degeneracy(DynamicGraph()) == 0
+
+
+class TestDGMaintenance:
+    @pytest.mark.parametrize("cls", [DGOne, DGTwo])
+    def test_initial_solution_maximal(self, cls):
+        g = erdos_renyi(50, 150, seed=3)
+        alg = cls(g.copy())
+        assert is_maximal_independent_set(alg.graph, alg.independent_set())
+
+    @pytest.mark.parametrize("cls", [DGOne, DGTwo])
+    def test_maximality_through_random_stream(self, cls):
+        g = erdos_renyi(40, 100, seed=4)
+        alg = cls(g.copy())
+        rng = random.Random(4)
+        for _ in range(60):
+            if rng.random() < 0.5 and alg.graph.num_edges:
+                edge = rng.choice(alg.graph.sorted_edges())
+                alg.apply(EdgeDeletion(*edge))
+            else:
+                u, v = rng.randrange(40), rng.randrange(40)
+                if u == v or alg.graph.has_edge(u, v):
+                    continue
+                alg.apply(EdgeInsertion(u, v))
+            assert is_maximal_independent_set(alg.graph, alg.independent_set())
+
+    def test_dgtwo_at_least_as_large_as_dgone(self):
+        total_one = total_two = 0
+        for seed in range(5):
+            g = erdos_renyi(50, 200, seed=seed)
+            ops = [EdgeDeletion(*e) for e in g.sorted_edges()[:10]]
+            one, two = DGOne(g.copy()), DGTwo(g.copy())
+            one.apply_batch(ops)
+            two.apply_batch(ops)
+            total_one += len(one)
+            total_two += len(two)
+        assert total_two >= total_one
+
+    def test_new_vertices_appended_to_order(self):
+        alg = DGOne(path_graph(3))
+        alg.apply(EdgeInsertion(2, 99))
+        assert alg.graph.has_vertex(99)
+        assert is_maximal_independent_set(alg.graph, alg.independent_set())
+
+    def test_unsupported_op_rejected(self):
+        alg = DGOne(path_graph(3))
+        with pytest.raises(TypeError):
+            alg.apply("nope")
+
+    def test_apply_stream_interface(self):
+        g = erdos_renyi(30, 80, seed=6)
+        alg = DGTwo(g.copy())
+        ops = [EdgeDeletion(*e) for e in g.sorted_edges()[:6]]
+        alg.apply_stream(ops, batch_size=3)
+        assert alg.updates_applied == 6
+
+    def test_len(self):
+        alg = DGOne(star_graph(4))
+        assert len(alg) == 4  # leaves
+
+
+class TestDGMemory:
+    def test_budget_at_construction(self):
+        g = erdos_renyi(100, 500, seed=7)
+        with pytest.raises(MemoryBudgetExceeded):
+            DGTwo(g, memory_budget_mb=0.001)
+
+    def test_budget_checked_on_growth(self):
+        g = erdos_renyi(30, 50, seed=8)
+        from repro.serial.memory_model import DG_ONE_MODEL
+
+        budget = DG_ONE_MODEL.mb_for(g) * 1.001
+        alg = DGOne(g, memory_budget_mb=budget)
+        with pytest.raises(MemoryBudgetExceeded):
+            for u in range(30):
+                for v in range(u + 1, 30):
+                    if not alg.graph.has_edge(u, v):
+                        alg.apply(EdgeInsertion(u, v))
+
+    def test_dgtwo_model_heavier_than_dgone(self):
+        from repro.serial.memory_model import DG_ONE_MODEL, DG_TWO_MODEL
+
+        g = erdos_renyi(50, 200, seed=9)
+        assert DG_TWO_MODEL.mb_for(g) > DG_ONE_MODEL.mb_for(g)

@@ -1,0 +1,124 @@
+"""Unit tests for the partitioned graph view and guest directory."""
+
+import pytest
+
+from repro.graph.distributed_graph import DistributedGraph
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.generators import erdos_renyi
+from repro.pregel.partition import ExplicitPartitioner, HashPartitioner
+
+
+def _two_worker_line():
+    """0 - 1 - 2 with 0,2 on worker 0 and 1 on worker 1."""
+    g = DynamicGraph.from_edges([(0, 1), (1, 2)])
+    part = ExplicitPartitioner({0: 0, 1: 1, 2: 0}, num_workers=2)
+    return DistributedGraph(g, part)
+
+
+class TestPlacement:
+    def test_worker_of_delegates(self):
+        dg = _two_worker_line()
+        assert dg.worker_of(0) == 0
+        assert dg.worker_of(1) == 1
+
+    def test_is_remote_pair(self):
+        dg = _two_worker_line()
+        assert dg.is_remote_pair(0, 1)
+        assert not dg.is_remote_pair(0, 2)
+
+    def test_guest_machines_initial(self):
+        dg = _two_worker_line()
+        # 1 lives on worker 1; its neighbours 0, 2 live on worker 0
+        assert dg.guest_machines(1) == [0]
+        assert dg.guest_machines(0) == [1]
+        # 0 and 2 are not adjacent: no copies needed for 2 beyond worker 1
+        assert dg.guest_machines(2) == [1]
+
+    def test_worker_vertex_counts(self):
+        dg = _two_worker_line()
+        assert dg.worker_vertex_counts() == {0: 2, 1: 1}
+
+    def test_replication_factor(self):
+        dg = _two_worker_line()
+        # each vertex has exactly one guest copy here
+        assert dg.replication_factor() == pytest.approx(2.0)
+
+
+class TestDirectoryMaintenance:
+    def test_add_edge_creates_guest_copies(self):
+        g = DynamicGraph.from_edges([], vertices=[0, 1])
+        part = ExplicitPartitioner({0: 0, 1: 1}, num_workers=2)
+        dg = DistributedGraph(g, part)
+        assert dg.guest_machines(0) == []
+        gained = dg.add_edge(0, 1)
+        assert gained == (1, 1)
+        assert dg.guest_machines(0) == [1]
+
+    def test_second_edge_to_same_machine_is_refcounted(self):
+        g = DynamicGraph.from_edges([], vertices=[0, 1, 3])
+        part = ExplicitPartitioner({0: 0, 1: 1, 3: 1}, num_workers=2)
+        dg = DistributedGraph(g, part)
+        assert dg.add_edge(0, 1) == (1, 1)
+        # 3 also lives on worker 1: no *new* copy of 0 needed there
+        assert dg.add_edge(0, 3) == (0, 1)
+        assert dg.num_guest_copies(0) == 1
+
+    def test_remove_edge_garbage_collects_copies(self):
+        dg = _two_worker_line()
+        lost = dg.remove_edge(0, 1)
+        assert lost == (1, 0)  # 0 loses its copy on worker 1; 1 keeps worker 0 (edge to 2)
+        assert dg.guest_machines(0) == []
+        assert dg.guest_machines(1) == [0]
+
+    def test_local_edge_never_creates_copies(self):
+        g = DynamicGraph.from_edges([], vertices=[0, 2])
+        part = ExplicitPartitioner({0: 0, 2: 0}, num_workers=2)
+        dg = DistributedGraph(g, part)
+        assert dg.add_edge(0, 2) == (0, 0)
+        assert dg.guest_machines(0) == []
+
+    def test_remove_vertex_cleans_directory(self):
+        dg = _two_worker_line()
+        removed = dg.remove_vertex(1)
+        assert removed == [(1, 0), (1, 2)]
+        assert dg.guest_machines(0) == []
+        assert not dg.has_vertex(1)
+
+    def test_add_vertex(self):
+        dg = _two_worker_line()
+        dg.add_vertex(9)
+        assert dg.has_vertex(9)
+        assert dg.guest_machines(9) == []
+
+    def test_directory_consistent_after_many_updates(self):
+        g = erdos_renyi(30, 60, seed=4)
+        dg = DistributedGraph(g, HashPartitioner(3))
+        edges = g.sorted_edges()
+        for u, v in edges[:30]:
+            dg.remove_edge(u, v)
+        for u, v in edges[:30]:
+            dg.add_edge(u, v)
+        # rebuild from scratch and compare the directory
+        fresh = DistributedGraph(g.copy(), HashPartitioner(3))
+        for u in g.vertices():
+            assert sorted(dg.guest_machines(u)) == sorted(fresh.guest_machines(u))
+
+
+class TestMemoryModel:
+    def test_structural_memory_accounts_guests(self):
+        dg = _two_worker_line()
+        mem = dg.structural_memory_bytes({u: 1 for u in (0, 1, 2)})
+        assert set(mem) == {0, 1}
+        assert mem[0] > 0 and mem[1] > 0
+        # worker 0 hosts two local vertices + one guest; worker 1 one local
+        # vertex + two guests: worker 0 should be heavier (more adjacency)
+        assert mem[0] > mem[1]
+
+    def test_more_workers_more_total_memory(self):
+        g = erdos_renyi(40, 120, seed=5)
+        small = DistributedGraph(g.copy(), HashPartitioner(2))
+        large = DistributedGraph(g.copy(), HashPartitioner(8))
+        state = {u: 1 for u in g.vertices()}
+        assert sum(large.structural_memory_bytes(state).values()) > sum(
+            small.structural_memory_bytes(state).values()
+        )

@@ -1,0 +1,161 @@
+"""Unit tests for the dynamic graph substrate."""
+
+import pytest
+
+from repro.errors import (
+    EdgeExistsError,
+    EdgeNotFoundError,
+    SelfLoopError,
+    VertexNotFoundError,
+)
+from repro.graph.dynamic_graph import DynamicGraph, normalize_edge
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = DynamicGraph()
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+        assert g.average_degree() == 0.0
+        assert list(g.vertices()) == []
+        assert list(g.edges()) == []
+
+    def test_from_edges(self):
+        g = DynamicGraph.from_edges([(1, 2), (2, 3)])
+        assert g.num_vertices == 3
+        assert g.num_edges == 2
+        assert g.has_edge(1, 2) and g.has_edge(2, 1)
+
+    def test_from_edges_with_isolated_vertices(self):
+        g = DynamicGraph.from_edges([(1, 2)], vertices=[5, 6])
+        assert g.num_vertices == 4
+        assert g.degree(5) == 0
+
+    def test_from_edges_tolerates_duplicates(self):
+        g = DynamicGraph.from_edges([(1, 2), (2, 1), (1, 2)])
+        assert g.num_edges == 1
+
+    def test_from_edges_rejects_self_loop(self):
+        with pytest.raises(SelfLoopError):
+            DynamicGraph.from_edges([(3, 3)])
+
+    def test_copy_is_deep(self):
+        g = DynamicGraph.from_edges([(1, 2)])
+        clone = g.copy()
+        clone.add_edge(2, 3)
+        assert not g.has_vertex(3)
+        assert g != clone
+
+    def test_equality(self):
+        a = DynamicGraph.from_edges([(1, 2), (2, 3)])
+        b = DynamicGraph.from_edges([(2, 3), (1, 2)])
+        assert a == b
+        assert (a == 42) is NotImplemented or not (a == 42)
+
+
+class TestVertices:
+    def test_add_vertex_idempotent(self):
+        g = DynamicGraph()
+        g.add_vertex(1)
+        g.add_vertex(1)
+        assert g.num_vertices == 1
+
+    def test_remove_vertex_returns_incident_edges(self):
+        g = DynamicGraph.from_edges([(1, 2), (1, 3), (2, 3)])
+        removed = g.remove_vertex(1)
+        assert removed == [(1, 2), (1, 3)]
+        assert g.num_vertices == 2
+        assert g.has_edge(2, 3)
+
+    def test_remove_missing_vertex_raises(self):
+        g = DynamicGraph()
+        with pytest.raises(VertexNotFoundError):
+            g.remove_vertex(9)
+
+    def test_contains_and_len(self):
+        g = DynamicGraph.from_edges([(1, 2)])
+        assert 1 in g and 3 not in g
+        assert len(g) == 2
+
+    def test_sorted_vertices(self):
+        g = DynamicGraph.from_edges([(5, 1), (3, 1)])
+        assert g.sorted_vertices() == [1, 3, 5]
+
+
+class TestEdges:
+    def test_add_edge_creates_endpoints(self):
+        g = DynamicGraph()
+        g.add_edge(1, 2)
+        assert g.has_vertex(1) and g.has_vertex(2)
+
+    def test_add_duplicate_edge_raises(self):
+        g = DynamicGraph.from_edges([(1, 2)])
+        with pytest.raises(EdgeExistsError):
+            g.add_edge(2, 1)
+
+    def test_add_self_loop_raises(self):
+        g = DynamicGraph()
+        with pytest.raises(SelfLoopError):
+            g.add_edge(4, 4)
+
+    def test_remove_edge(self):
+        g = DynamicGraph.from_edges([(1, 2), (2, 3)])
+        g.remove_edge(2, 1)
+        assert not g.has_edge(1, 2)
+        assert g.num_edges == 1
+
+    def test_remove_missing_edge_raises(self):
+        g = DynamicGraph.from_edges([(1, 2)])
+        with pytest.raises(EdgeNotFoundError):
+            g.remove_edge(1, 3)
+        with pytest.raises(EdgeNotFoundError):
+            g.remove_edge(7, 8)
+
+    def test_edges_canonical_and_unique(self):
+        g = DynamicGraph.from_edges([(3, 1), (2, 3)])
+        assert sorted(g.edges()) == [(1, 3), (2, 3)]
+        assert g.sorted_edges() == [(1, 3), (2, 3)]
+
+    def test_num_edges_consistency_under_updates(self):
+        g = DynamicGraph()
+        for i in range(10):
+            g.add_edge(i, i + 1)
+        assert g.num_edges == 10
+        for i in range(0, 10, 2):
+            g.remove_edge(i, i + 1)
+        assert g.num_edges == 5
+
+
+class TestDegrees:
+    def test_degree_tracks_updates(self, path5):
+        assert path5.degree(0) == 1
+        assert path5.degree(2) == 2
+        path5.add_edge(0, 2)
+        assert path5.degree(0) == 2
+        path5.remove_edge(0, 1)
+        assert path5.degree(0) == 1
+
+    def test_degree_of_missing_vertex_raises(self):
+        g = DynamicGraph()
+        with pytest.raises(VertexNotFoundError):
+            g.degree(1)
+
+    def test_average_degree(self, path5):
+        assert path5.average_degree() == pytest.approx(2 * 4 / 5)
+
+    def test_max_degree(self, star6):
+        assert star6.max_degree() == 6
+        assert DynamicGraph().max_degree() == 0
+
+    def test_neighbors_view(self, triangle):
+        assert triangle.neighbors(1) == {2, 3}
+
+
+def test_normalize_edge():
+    assert normalize_edge(5, 2) == (2, 5)
+    assert normalize_edge(2, 5) == (2, 5)
+
+
+def test_repr_mentions_sizes():
+    g = DynamicGraph.from_edges([(1, 2)])
+    assert "n=2" in repr(g) and "m=1" in repr(g)

@@ -1,0 +1,45 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+def test_all_errors_derive_from_repro_error():
+    for name in dir(errors):
+        obj = getattr(errors, name)
+        if isinstance(obj, type) and issubclass(obj, Exception):
+            if obj is not errors.ReproError:
+                assert issubclass(obj, errors.ReproError), name
+
+
+def test_vertex_not_found_carries_vertex():
+    err = errors.VertexNotFoundError(7)
+    assert err.vertex == 7
+    assert "7" in str(err)
+
+
+def test_edge_errors_carry_edge():
+    assert errors.EdgeNotFoundError(1, 2).edge == (1, 2)
+    assert errors.EdgeExistsError(3, 4).edge == (3, 4)
+    assert errors.SelfLoopError(5).vertex == 5
+
+
+def test_superstep_limit_carries_limit():
+    err = errors.SuperstepLimitExceeded(100)
+    assert err.limit == 100
+    assert "100" in str(err)
+
+
+def test_memory_budget_carries_numbers():
+    err = errors.MemoryBudgetExceeded(10.5, 2.0)
+    assert err.needed_mb == 10.5
+    assert err.budget_mb == 2.0
+    assert "10.5" in str(err)
+
+
+def test_catching_the_base_class():
+    with pytest.raises(errors.ReproError):
+        raise errors.WorkloadError("bad workload")
+    with pytest.raises(errors.GraphError):
+        raise errors.SelfLoopError(1)

@@ -1,0 +1,105 @@
+"""Tests for the exact branch-and-bound MIS solver."""
+
+import itertools
+
+import pytest
+
+from repro.core.verification import is_independent_set
+from repro.errors import ReproError
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.generators import (
+    complete_bipartite,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    path_graph,
+    star_graph,
+)
+from repro.serial.exact import approximation_ratio, exact_mis, independence_number
+from repro.serial.greedy import greedy_mis
+
+
+def _brute_force_alpha(graph):
+    vertices = graph.sorted_vertices()
+    for size in range(len(vertices), -1, -1):
+        for combo in itertools.combinations(vertices, size):
+            if is_independent_set(graph, combo):
+                return size
+    return 0
+
+
+class TestKnownValues:
+    def test_empty(self):
+        assert exact_mis(DynamicGraph()) == set()
+
+    @pytest.mark.parametrize("n,alpha", [(2, 1), (3, 2), (5, 3), (8, 4), (9, 5)])
+    def test_paths(self, n, alpha):
+        assert independence_number(path_graph(n)) == alpha
+
+    @pytest.mark.parametrize("n,alpha", [(3, 1), (4, 2), (7, 3), (10, 5)])
+    def test_cycles(self, n, alpha):
+        assert independence_number(cycle_graph(n)) == alpha
+
+    def test_clique(self):
+        assert independence_number(complete_graph(7)) == 1
+
+    def test_star(self):
+        assert independence_number(star_graph(9)) == 9
+
+    def test_bipartite(self):
+        assert independence_number(complete_bipartite(4, 6)) == 6
+
+    def test_isolated_vertices(self):
+        g = DynamicGraph.from_edges([(1, 2)], vertices=[7, 8, 9])
+        assert independence_number(g) == 4
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_small_graphs(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        n = rng.randint(1, 11)
+        m = rng.randint(0, n * (n - 1) // 2)
+        g = erdos_renyi(n, m, seed=seed)
+        result = exact_mis(g)
+        assert is_independent_set(g, result)
+        assert len(result) == _brute_force_alpha(g)
+
+
+class TestBudget:
+    def test_budget_exceeded_raises(self):
+        g = erdos_renyi(40, 200, seed=1)
+        with pytest.raises(ReproError, match="node budget"):
+            exact_mis(g, node_budget=3)
+
+    def test_medium_graphs_solve_fast(self):
+        g = erdos_renyi(55, 170, seed=2)
+        result = exact_mis(g)
+        assert is_independent_set(g, result)
+        assert len(result) >= len(greedy_mis(g))
+
+
+class TestApproximationRatio:
+    def test_greedy_ratio_bounded(self):
+        g = erdos_renyi(45, 140, seed=3)
+        ratio = approximation_ratio(g, greedy_mis(g))
+        assert 0.5 < ratio <= 1.0
+
+    def test_exact_ratio_is_one(self):
+        g = erdos_renyi(30, 90, seed=4)
+        assert approximation_ratio(g, exact_mis(g)) == 1.0
+
+    def test_empty_graph_ratio(self):
+        assert approximation_ratio(DynamicGraph(), set()) == 1.0
+
+    def test_oimis_quality_vs_optimum(self):
+        """How near is 'near-maximum' really: OIMIS stays within ~80% of
+        the optimum on small dense random graphs (far better on sparse)."""
+        from repro.core.oimis import run_oimis
+
+        for seed in range(4):
+            g = erdos_renyi(40, 120, seed=seed + 30)
+            result = run_oimis(g.copy(), num_workers=3).independent_set
+            assert approximation_ratio(g, result) >= 0.8

@@ -1,0 +1,149 @@
+"""Unit tests for the synthetic graph generators."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.graph import generators as gen
+
+
+class TestErdosRenyi:
+    def test_exact_sizes(self):
+        g = gen.erdos_renyi(50, 100, seed=3)
+        assert g.num_vertices == 50
+        assert g.num_edges == 100
+
+    def test_deterministic(self):
+        a = gen.erdos_renyi(40, 80, seed=9)
+        b = gen.erdos_renyi(40, 80, seed=9)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = gen.erdos_renyi(40, 80, seed=1)
+        b = gen.erdos_renyi(40, 80, seed=2)
+        assert a != b
+
+    def test_too_many_edges_rejected(self):
+        with pytest.raises(WorkloadError):
+            gen.erdos_renyi(4, 7, seed=0)
+
+    def test_zero_edges(self):
+        g = gen.erdos_renyi(10, 0, seed=0)
+        assert g.num_edges == 0
+        assert g.num_vertices == 10
+
+
+class TestBarabasiAlbert:
+    def test_sizes(self):
+        g = gen.barabasi_albert(100, 3, seed=1)
+        assert g.num_vertices == 100
+        # clique seed of 4 + 3 per additional vertex
+        assert g.num_edges == 6 + 3 * 96
+
+    def test_heavy_tail(self):
+        g = gen.barabasi_albert(300, 2, seed=5)
+        assert g.max_degree() > 4 * g.average_degree()
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            gen.barabasi_albert(3, 0, seed=0)
+        with pytest.raises(WorkloadError):
+            gen.barabasi_albert(2, 3, seed=0)
+
+    def test_deterministic(self):
+        assert gen.barabasi_albert(50, 2, seed=4) == gen.barabasi_albert(50, 2, seed=4)
+
+
+class TestChungLu:
+    def test_average_degree_close_to_target(self):
+        g = gen.chung_lu(500, 10.0, seed=2)
+        assert 6.0 < g.average_degree() < 12.0
+
+    def test_skewed_degrees(self):
+        g = gen.chung_lu(500, 8.0, exponent=2.2, seed=3)
+        assert g.max_degree() > 3 * g.average_degree()
+
+    def test_tiny_graph(self):
+        g = gen.chung_lu(1, 2.0, seed=0)
+        assert g.num_vertices == 1 and g.num_edges == 0
+
+    def test_deterministic(self):
+        assert gen.chung_lu(100, 6.0, seed=8) == gen.chung_lu(100, 6.0, seed=8)
+
+
+class TestWattsStrogatz:
+    def test_degree_preserved_in_expectation(self):
+        g = gen.watts_strogatz(60, 4, beta=0.2, seed=1)
+        assert g.num_vertices == 60
+        assert g.num_edges == 120  # rewiring preserves edge count
+
+    def test_beta_zero_is_lattice(self):
+        g = gen.watts_strogatz(10, 2, beta=0.0, seed=0)
+        assert all(g.degree(u) == 2 for u in g.vertices())
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            gen.watts_strogatz(10, 3, beta=0.1, seed=0)  # odd k
+        with pytest.raises(WorkloadError):
+            gen.watts_strogatz(4, 4, beta=0.1, seed=0)  # k >= n
+
+
+class TestStructured:
+    def test_path(self):
+        g = gen.path_graph(5)
+        assert g.num_edges == 4
+        assert g.degree(0) == 1 and g.degree(2) == 2
+
+    def test_cycle(self):
+        g = gen.cycle_graph(6)
+        assert g.num_edges == 6
+        assert all(g.degree(u) == 2 for u in g.vertices())
+        with pytest.raises(WorkloadError):
+            gen.cycle_graph(2)
+
+    def test_star(self):
+        g = gen.star_graph(7)
+        assert g.degree(0) == 7
+        assert g.num_edges == 7
+
+    def test_complete(self):
+        g = gen.complete_graph(6)
+        assert g.num_edges == 15
+
+    def test_complete_bipartite(self):
+        g = gen.complete_bipartite(3, 4)
+        assert g.num_edges == 12
+        assert g.degree(0) == 4 and g.degree(5) == 3
+
+
+class TestWithExactEdges:
+    def test_trims_down(self):
+        g = gen.erdos_renyi(30, 100, seed=1)
+        gen.with_exact_edges(g, 50, seed=2)
+        assert g.num_edges == 50
+
+    def test_pads_up(self):
+        g = gen.erdos_renyi(30, 20, seed=1)
+        gen.with_exact_edges(g, 60, seed=2)
+        assert g.num_edges == 60
+
+    def test_noop_when_exact(self):
+        g = gen.erdos_renyi(30, 40, seed=1)
+        before = g.copy()
+        gen.with_exact_edges(g, 40, seed=2)
+        assert g == before
+
+    def test_rejects_impossible_target(self):
+        g = gen.erdos_renyi(4, 2, seed=1)
+        with pytest.raises(WorkloadError):
+            gen.with_exact_edges(g, 10, seed=0)
+
+    def test_deterministic(self):
+        a = gen.with_exact_edges(gen.erdos_renyi(30, 80, seed=1), 40, seed=5)
+        b = gen.with_exact_edges(gen.erdos_renyi(30, 80, seed=1), 40, seed=5)
+        assert a == b
+
+
+def test_paper_example_graph_shape():
+    g = gen.paper_example_graph()
+    assert g.num_vertices == 6
+    assert g.degree(4) == 3

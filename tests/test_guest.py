@@ -1,0 +1,61 @@
+"""Unit tests for the inverted activation index and replication reports."""
+
+from repro.graph.distributed_graph import DistributedGraph
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.generators import erdos_renyi
+from repro.pregel.partition import ExplicitPartitioner, HashPartitioner
+from repro.scaleg.guest import (
+    InvertedActivationIndex,
+    build_all_indexes,
+    replication_report,
+)
+
+
+def _line():
+    g = DynamicGraph.from_edges([(0, 1), (1, 2)])
+    return DistributedGraph(g, ExplicitPartitioner({0: 0, 1: 1, 2: 0}, 2))
+
+
+class TestInvertedIndex:
+    def test_guests_listed(self):
+        idx = InvertedActivationIndex(_line(), worker=0)
+        assert idx.guests() == [1]  # vertex 1 is the only remote neighbour
+        assert len(idx) == 1
+
+    def test_local_targets(self):
+        idx = InvertedActivationIndex(_line(), worker=0)
+        assert idx.local_targets(1) == [0, 2]
+        assert idx.local_targets(99) == []
+
+    def test_targets_match_directory(self):
+        g = erdos_renyi(40, 100, seed=6)
+        dg = DistributedGraph(g, HashPartitioner(3))
+        indexes = build_all_indexes(dg)
+        for u in g.vertices():
+            for w in dg.guest_machines(u):
+                targets = indexes[w].local_targets(u)
+                assert targets, f"guest of {u} on {w} has no local neighbours"
+                for t in targets:
+                    assert dg.worker_of(t) == w
+                    assert t in g.neighbors(u)
+
+
+class TestReplicationReport:
+    def test_empty_graph(self):
+        dg = DistributedGraph(DynamicGraph(), HashPartitioner(2))
+        report = replication_report(dg)
+        assert report["vertices"] == 0
+
+    def test_single_worker_no_replication(self):
+        g = erdos_renyi(20, 40, seed=1)
+        dg = DistributedGraph(g, HashPartitioner(1))
+        report = replication_report(dg)
+        assert report["replication_factor"] == 1.0
+        assert report["edge_cut_fraction"] == 0.0
+
+    def test_more_workers_more_replication(self):
+        g = erdos_renyi(50, 200, seed=2)
+        few = replication_report(DistributedGraph(g.copy(), HashPartitioner(2)))
+        many = replication_report(DistributedGraph(g.copy(), HashPartitioner(8)))
+        assert many["replication_factor"] > few["replication_factor"]
+        assert many["edge_cut_fraction"] > few["edge_cut_fraction"]

@@ -1,0 +1,143 @@
+"""Integration tests for the experiment drivers (scaled-down runs).
+
+Each driver runs on the smallest datasets with tiny workloads here; the
+``benchmarks/`` modules run them at reporting scale.  These tests pin the
+*shapes* the paper's tables/figures rest on.
+"""
+
+import pytest
+
+from repro.bench import harness
+
+
+@pytest.fixture(scope="module")
+def table2_rows():
+    return harness.table2_order_independence(tags=("SL", "AM"), num_workers=4)
+
+
+@pytest.fixture(scope="module")
+def table3_rows():
+    return harness.table3_optimizations(tags=("SL", "AM"), num_workers=4)
+
+
+class TestTable2:
+    def test_row_shape(self, table2_rows):
+        assert len(table2_rows) == 4
+        assert {r["algorithm"] for r in table2_rows} == {"DisMIS", "OIMIS"}
+
+    def test_same_set_sizes(self, table2_rows):
+        by_ds = {}
+        for row in table2_rows:
+            by_ds.setdefault(row["dataset"], {})[row["algorithm"]] = row
+        for rows in by_ds.values():
+            assert rows["DisMIS"]["set_size"] == rows["OIMIS"]["set_size"]
+
+    def test_oimis_dominates(self, table2_rows):
+        by_ds = {}
+        for row in table2_rows:
+            by_ds.setdefault(row["dataset"], {})[row["algorithm"]] = row
+        for rows in by_ds.values():
+            assert rows["OIMIS"]["communication_mb"] < rows["DisMIS"]["communication_mb"]
+            assert rows["OIMIS"]["supersteps"] <= rows["DisMIS"]["supersteps"]
+            assert rows["OIMIS"]["memory_mb"] <= rows["DisMIS"]["memory_mb"]
+
+
+class TestTable3:
+    def test_variants_present(self, table3_rows):
+        assert {r["variant"] for r in table3_rows} == {"OIMIS", "+LR", "+SS"}
+
+    def test_activation_reductions(self, table3_rows):
+        by_ds = {}
+        for row in table3_rows:
+            by_ds.setdefault(row["dataset"], {})[row["variant"]] = row
+        for rows in by_ds.values():
+            assert rows["+LR"]["active_vertices"] < rows["OIMIS"]["active_vertices"]
+            assert rows["+SS"]["active_vertices"] <= rows["+LR"]["active_vertices"]
+            assert rows["+LR"]["communication_mb"] <= rows["OIMIS"]["communication_mb"]
+            assert rows["+SS"]["supersteps"] <= rows["OIMIS"]["supersteps"]
+
+
+class TestTable4:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return harness.table4_effectiveness(
+            tags=("SL", "SK05", "UK14"), k=40, batch_size=40, num_workers=4
+        )
+
+    def test_oom_pattern(self, rows):
+        by_ds = {r["dataset"]: r for r in rows}
+        assert by_ds["SL"]["DGTwo"] != "OOM"
+        assert by_ds["SK05"]["DGTwo"] == "OOM"
+        assert by_ds["SK05"]["DTSwap"] != "OOM"
+        assert by_ds["UK14"]["ARW"] == "OOM"
+        assert by_ds["UK14"]["LazyDTSwap"] == "OOM"
+
+    def test_doimis_always_finishes(self, rows):
+        assert all(isinstance(r["DOIMIS"], int) for r in rows)
+
+    def test_prec_above_85_percent(self, rows):
+        for row in rows:
+            for key in ("prec_ARW", "prec_DGTwo", "prec_DTSwap", "prec_LazyDTSwap"):
+                if row[key] != "-":
+                    assert row[key] >= 0.85, (row["dataset"], key)
+
+
+class TestFig10:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return harness.fig10_efficiency(tags=("SL",), k=25, num_workers=4)
+
+    def test_all_algorithms_present(self, rows):
+        singles = {r["algorithm"] for r in rows if r["mode"] == "single"}
+        batches = {r["algorithm"] for r in rows if r["mode"] == "batch"}
+        assert singles == {"SCALL", "DOIMIS", "DOIMIS+", "DOIMIS*"}
+        assert batches == singles | {"Naive", "dDisMIS"}
+
+    def test_scall_doimis_equal_communication(self, rows):
+        single = {r["algorithm"]: r for r in rows if r["mode"] == "single"}
+        assert single["SCALL"]["communication_mb"] == pytest.approx(
+            single["DOIMIS"]["communication_mb"]
+        )
+
+    def test_scall_more_work_than_doimis(self, rows):
+        single = {r["algorithm"]: r for r in rows if r["mode"] == "single"}
+        assert single["SCALL"]["compute_work"] > single["DOIMIS"]["compute_work"]
+
+    def test_recompute_baselines_cost_most_work(self, rows):
+        batch = {r["algorithm"]: r for r in rows if r["mode"] == "batch"}
+        assert batch["Naive"]["compute_work"] > batch["DOIMIS*"]["compute_work"]
+        assert batch["dDisMIS"]["compute_work"] > batch["DOIMIS*"]["compute_work"]
+
+    def test_all_set_sizes_equal(self, rows):
+        assert len({r["set_size"] for r in rows}) == 1
+
+
+class TestFig11:
+    def test_batching_reduces_cost(self):
+        rows = harness.fig11_batch_size(
+            tag="SL", k=60, batch_sizes=(1, 10, 60), num_workers=4
+        )
+        times = [r["supersteps"] for r in rows]
+        comms = [r["communication_mb"] for r in rows]
+        assert times[0] > times[-1]
+        assert comms[0] >= comms[-1]
+
+
+class TestFig12:
+    def test_machines_tradeoff(self):
+        rows = harness.fig12_machines(
+            tags=("SL",), k=40, worker_counts=(2, 8), batch_size=20
+        )
+        two, eight = rows[0], rows[1]
+        assert eight["communication_mb"] > two["communication_mb"]
+        assert eight["response_time_s"] < two["response_time_s"]
+
+
+class TestFig13:
+    def test_costs_grow_with_updates(self):
+        rows = harness.fig13_updates(
+            tags=("SL",), update_counts=(40, 160), batch_size=20, num_workers=4
+        )
+        small, large = rows[0], rows[1]
+        assert large["communication_mb"] > small["communication_mb"]
+        assert large["supersteps"] >= small["supersteps"]

@@ -1,0 +1,122 @@
+"""Tests for the Section III strawman: history-replay dynamic DisMIS."""
+
+import random
+
+import pytest
+
+from repro.core.doimis import DOIMISMaintainer
+from repro.core.history_dismis import HistoryDisMIS
+from repro.errors import WorkloadError
+from repro.graph.generators import erdos_renyi, path_graph, star_graph
+from repro.graph.updates import EdgeDeletion, EdgeInsertion, VertexInsertion
+from repro.serial.greedy import greedy_mis
+
+
+class TestStatic:
+    def test_initial_set_is_fixpoint(self):
+        g = erdos_renyi(40, 120, seed=1)
+        h = HistoryDisMIS(g.copy(), num_workers=4)
+        assert h.independent_set() == greedy_mis(g)
+
+    def test_rounds_recorded(self):
+        h = HistoryDisMIS(path_graph(9), num_workers=2)
+        # a path's rounds grow with length (the order dependency)
+        assert h.rounds >= 3
+        assert h.init_metrics.supersteps == 3 * h.rounds + 1
+
+    def test_len(self):
+        h = HistoryDisMIS(star_graph(5), num_workers=2)
+        assert len(h) == 5
+
+
+class TestDynamic:
+    def test_single_updates_track_oracle(self):
+        g = erdos_renyi(30, 90, seed=2)
+        h = HistoryDisMIS(g.copy(), num_workers=4)
+        rng = random.Random(2)
+        for _ in range(40):
+            if rng.random() < 0.5 and h.graph.num_edges:
+                edge = rng.choice(h.graph.sorted_edges())
+                h.apply_batch([EdgeDeletion(*edge)])
+            else:
+                u, v = rng.randrange(30), rng.randrange(30)
+                if u == v or h.graph.has_edge(u, v):
+                    continue
+                h.apply_batch([EdgeInsertion(u, v)])
+            assert h.independent_set() == greedy_mis(h.graph)
+
+    def test_batches_track_oracle(self):
+        g = erdos_renyi(30, 90, seed=3)
+        h = HistoryDisMIS(g.copy(), num_workers=4)
+        edges = g.sorted_edges()[:12]
+        h.apply_batch([EdgeDeletion(u, v) for u, v in edges])
+        assert h.independent_set() == greedy_mis(h.graph)
+        h.apply_batch([EdgeInsertion(u, v) for u, v in edges])
+        assert h.independent_set() == greedy_mis(h.graph)
+
+    def test_matches_doimis(self):
+        from repro.bench.workloads import delete_reinsert_workload
+
+        g = erdos_renyi(40, 130, seed=4)
+        h = HistoryDisMIS(g.copy(), num_workers=4)
+        d = DOIMISMaintainer(g.copy(), num_workers=4)
+        for op in delete_reinsert_workload(g, 15, seed=1):
+            h.apply_batch([op])
+            d.apply_batch([op])
+            assert h.independent_set() == d.independent_set()
+
+    def test_new_vertex_via_edge(self):
+        h = HistoryDisMIS(path_graph(4), num_workers=2)
+        h.apply_batch([EdgeInsertion(3, 99)])
+        assert h.independent_set() == greedy_mis(h.graph)
+
+    def test_empty_batch_noop(self):
+        h = HistoryDisMIS(path_graph(4), num_workers=2)
+        h.apply_batch([])
+        assert h.batches_applied == 0
+
+    def test_unsupported_op(self):
+        h = HistoryDisMIS(path_graph(4), num_workers=2)
+        with pytest.raises(WorkloadError):
+            h.apply_batch([VertexInsertion(9)])
+
+    def test_apply_stream(self):
+        g = erdos_renyi(25, 70, seed=5)
+        h = HistoryDisMIS(g.copy(), num_workers=4)
+        ops = [EdgeDeletion(u, v) for u, v in g.sorted_edges()[:9]]
+        h.apply_stream(ops, batch_size=3)
+        assert h.batches_applied == 3
+        assert h.independent_set() == greedy_mis(h.graph)
+
+
+class TestSectionIIIDefects:
+    """The two defects the paper calls out, measured."""
+
+    @pytest.fixture(scope="class")
+    def pair(self):
+        from repro.bench.workloads import delete_reinsert_workload
+
+        g = erdos_renyi(80, 320, seed=6)
+        h = HistoryDisMIS(g.copy(), num_workers=4)
+        d = DOIMISMaintainer(g.copy(), num_workers=4)
+        for op in delete_reinsert_workload(g, 30, seed=2):
+            h.apply_batch([op])
+            d.apply_batch([op])
+        return h, d
+
+    def test_replay_runs_full_round_structure(self, pair):
+        history, doimis = pair
+        # >= 3 supersteps per round per update vs DOIMIS's few per update
+        assert history.update_metrics.supersteps > 3 * doimis.update_metrics.supersteps
+
+    def test_history_memory_is_m_times_k(self, pair):
+        history, doimis = pair
+        assert history.history_memory_mb > 0
+        assert (
+            history.update_metrics.peak_worker_memory_bytes
+            > doimis.update_metrics.peak_worker_memory_bytes
+        )
+
+    def test_replay_ships_more(self, pair):
+        history, doimis = pair
+        assert history.update_metrics.bytes_sent > doimis.update_metrics.bytes_sent

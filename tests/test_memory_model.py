@@ -1,0 +1,46 @@
+"""Unit tests for the serial-algorithm memory model."""
+
+import pytest
+
+from repro.errors import MemoryBudgetExceeded
+from repro.graph.generators import erdos_renyi
+from repro.serial.memory_model import (
+    ARW_MODEL,
+    DG_ONE_MODEL,
+    DG_TWO_MODEL,
+    GRAPH_ONLY,
+    LAZY_SWAP_MODEL,
+    SWAP_MODEL,
+    MemoryModel,
+)
+
+
+def test_bytes_formula():
+    g = erdos_renyi(10, 20, seed=0)
+    model = MemoryModel(per_vertex_bytes=100, per_edge_bytes=10)
+    assert model.bytes_for(g) == 100 * 10 + 10 * 20
+    assert model.mb_for(g) == pytest.approx((1000 + 200) / (1024 * 1024))
+
+
+def test_check_unlimited_by_default():
+    g = erdos_renyi(10, 20, seed=0)
+    GRAPH_ONLY.check(g, None)  # must not raise
+
+
+def test_check_raises_with_details():
+    g = erdos_renyi(10, 20, seed=0)
+    with pytest.raises(MemoryBudgetExceeded) as excinfo:
+        MemoryModel(1e9, 1e9).check(g, budget_mb=1.0)
+    assert excinfo.value.budget_mb == 1.0
+    assert excinfo.value.needed_mb > 1.0
+
+
+def test_model_ordering_reflects_auxiliary_structures():
+    """Heavier auxiliary structures -> heavier model, matching the paper's
+    OOM ordering: DGTwo dies first, then DTSwap, then ARW/LazyDTSwap."""
+    g = erdos_renyi(100, 1000, seed=1)
+    assert DG_TWO_MODEL.bytes_for(g) > SWAP_MODEL.bytes_for(g)
+    assert SWAP_MODEL.bytes_for(g) > LAZY_SWAP_MODEL.bytes_for(g)
+    assert DG_TWO_MODEL.bytes_for(g) > DG_ONE_MODEL.bytes_for(g)
+    assert LAZY_SWAP_MODEL.bytes_for(g) > ARW_MODEL.bytes_for(g)
+    assert ARW_MODEL.bytes_for(g) > GRAPH_ONLY.bytes_for(g)

@@ -1,0 +1,144 @@
+"""Unit tests for the cost model and run metrics."""
+
+import pytest
+
+from repro.pregel.metrics import RunMetrics, SuperstepRecord, fresh_metrics
+
+
+def _record(superstep=0, **kw):
+    rec = SuperstepRecord(superstep=superstep)
+    for key, value in kw.items():
+        setattr(rec, key, value)
+    return rec
+
+
+class TestObserve:
+    def test_observe_accumulates(self):
+        m = fresh_metrics(4)
+        m.observe(_record(0, active_vertices=3, compute_work=10, bytes_sent=100))
+        m.observe(_record(1, active_vertices=2, compute_work=5, bytes_sent=50))
+        assert m.supersteps == 2
+        assert m.active_vertices == 5
+        assert m.compute_work == 15
+        assert m.bytes_sent == 150
+        assert len(m.records) == 2
+
+    def test_observe_without_records(self):
+        m = fresh_metrics(2)
+        m.observe(_record(0, active_vertices=1), keep_record=False)
+        assert m.supersteps == 1
+        assert m.records == []
+
+    def test_memory_keeps_peak(self):
+        m = fresh_metrics(2)
+        m.observe_memory({0: 100, 1: 300})
+        m.observe_memory({0: 200, 1: 250})
+        assert m.peak_worker_memory_bytes == 300
+        assert m.total_memory_bytes == 450
+        m.observe_memory({})
+        assert m.peak_worker_memory_bytes == 300
+
+
+class TestMerge:
+    def test_merge_sums_counters(self):
+        a, b = fresh_metrics(2), fresh_metrics(2)
+        a.observe(_record(0, active_vertices=1, bytes_sent=10))
+        b.observe(_record(0, active_vertices=2, bytes_sent=20))
+        b.wall_time_s = 0.5
+        a.merge(b)
+        assert a.supersteps == 2
+        assert a.active_vertices == 3
+        assert a.bytes_sent == 30
+        assert a.wall_time_s == pytest.approx(0.5)
+
+    def test_merge_takes_max_memory(self):
+        a, b = fresh_metrics(2), fresh_metrics(2)
+        a.observe_memory({0: 100})
+        b.observe_memory({0: 50})
+        a.merge(b)
+        assert a.peak_worker_memory_bytes == 100
+
+
+class TestDerived:
+    def test_communication_mb(self):
+        m = fresh_metrics(1)
+        m.bytes_sent = 2 * 1024 * 1024
+        assert m.communication_mb == pytest.approx(2.0)
+
+    def test_memory_mb(self):
+        m = fresh_metrics(1)
+        m.peak_worker_memory_bytes = 1024 * 1024
+        assert m.memory_mb == pytest.approx(1.0)
+
+    def test_summary_keys(self):
+        m = fresh_metrics(1)
+        summary = m.summary()
+        for key in ("supersteps", "communication_mb", "memory_mb", "wall_time_s"):
+            assert key in summary
+
+
+class TestJsonExport:
+    def test_summary_fields_present(self):
+        import json
+
+        m = fresh_metrics(3)
+        m.observe(_record(0, active_vertices=2, bytes_sent=100))
+        payload = json.loads(m.to_json())
+        assert payload["num_workers"] == 3
+        assert payload["supersteps"] == 1
+        assert "records" not in payload
+
+    def test_records_included_on_request(self):
+        import json
+
+        m = fresh_metrics(2)
+        rec = _record(0, active_vertices=2, compute_work=5)
+        rec.worker_work = [3, 2]
+        m.observe(rec)
+        payload = json.loads(m.to_json(include_records=True))
+        assert payload["records"][0]["worker_work"] == [3, 2]
+
+    def test_roundtrip_from_real_run(self):
+        import json
+
+        from repro.core.oimis import run_oimis
+        from repro.graph.generators import erdos_renyi
+
+        run = run_oimis(erdos_renyi(30, 90, seed=1))
+        payload = json.loads(run.metrics.to_json(include_records=True))
+        assert payload["supersteps"] == run.metrics.supersteps
+        assert len(payload["records"]) == run.metrics.supersteps
+
+
+class TestSimulatedTime:
+    def test_uses_slowest_worker(self):
+        m = fresh_metrics(2)
+        rec = _record(0, compute_work=100)
+        rec.worker_work = [90, 10]
+        m.observe(rec)
+        slow = m.simulated_time(work_per_second=100, bandwidth_bytes_per_second=1e9,
+                                superstep_latency_s=0.0)
+        assert slow == pytest.approx(0.9)
+
+    def test_fallback_without_worker_detail(self):
+        m = fresh_metrics(4)
+        m.observe(_record(0, compute_work=100))
+        t = m.simulated_time(work_per_second=100, bandwidth_bytes_per_second=1e9,
+                             superstep_latency_s=0.0)
+        assert t == pytest.approx(100 / (4 * 100))
+
+    def test_fallback_without_records(self):
+        m = fresh_metrics(2)
+        m.supersteps = 3
+        m.compute_work = 100
+        m.bytes_sent = 1000
+        t = m.simulated_time(work_per_second=100, bandwidth_bytes_per_second=1000,
+                             superstep_latency_s=0.1)
+        assert t == pytest.approx(100 / 200 + 1.0 + 0.3)
+
+    def test_more_workers_is_faster_compute(self):
+        few, many = fresh_metrics(2), fresh_metrics(8)
+        for m in (few, many):
+            m.supersteps = 1
+            m.compute_work = 800
+        assert many.simulated_time() < few.simulated_time()

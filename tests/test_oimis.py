@@ -1,0 +1,167 @@
+"""Unit tests for OIMIS (Algorithm 2) on both engines."""
+
+import pytest
+
+from repro.core.activation import ActivationStrategy
+from repro.core.oimis import (
+    OIMISProgram,
+    independent_set_from_states,
+    run_oimis,
+    run_oimis_pregel,
+)
+from repro.core.verification import is_greedy_fixpoint, is_maximal_independent_set
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.generators import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    path_graph,
+    star_graph,
+)
+from repro.serial.greedy import greedy_mis
+
+
+class TestStaticResults:
+    def test_empty_graph(self):
+        run = run_oimis(DynamicGraph())
+        assert run.independent_set == set()
+        assert run.metrics.supersteps == 0
+
+    def test_isolated_vertices_all_in(self):
+        g = DynamicGraph.from_edges([], vertices=[1, 2, 3])
+        assert run_oimis(g).independent_set == {1, 2, 3}
+
+    def test_single_edge_lower_id_wins(self):
+        g = DynamicGraph.from_edges([(1, 2)])
+        assert run_oimis(g).independent_set == {1}
+
+    def test_path(self):
+        assert run_oimis(path_graph(5)).independent_set == {0, 2, 4}
+
+    def test_star_takes_leaves(self):
+        assert run_oimis(star_graph(6)).independent_set == set(range(1, 7))
+
+    def test_clique_takes_minimum(self):
+        assert run_oimis(complete_graph(5)).independent_set == {0}
+
+    def test_cycle(self):
+        result = run_oimis(cycle_graph(7)).independent_set
+        assert result == greedy_mis(cycle_graph(7))
+        assert len(result) == 3
+
+    def test_paper_figure_graph(self, paper_figure_graph):
+        assert run_oimis(paper_figure_graph).independent_set == {1, 3, 4}
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_greedy_oracle_random(self, seed):
+        g = erdos_renyi(70, 210, seed=seed)
+        run = run_oimis(g)
+        assert run.independent_set == greedy_mis(g)
+        assert is_maximal_independent_set(g, run.independent_set)
+        assert is_greedy_fixpoint(g, run.independent_set)
+
+    def test_structured_graphs(self, structured_graph):
+        assert run_oimis(structured_graph).independent_set == greedy_mis(
+            structured_graph
+        )
+
+
+class TestInitializationIndependence:
+    """The fixpoint must not depend on initial states (Section IV claim)."""
+
+    @pytest.mark.parametrize("init", ["all_false", "alternating", "adversarial"])
+    def test_any_initialization_converges_to_fixpoint(self, init):
+        g = erdos_renyi(40, 120, seed=11)
+        if init == "all_false":
+            states = {u: False for u in g.vertices()}
+        elif init == "alternating":
+            states = {u: bool(u % 2) for u in g.vertices()}
+        else:
+            # adversarial: complement of the right answer
+            right = greedy_mis(g)
+            states = {u: u not in right for u in g.vertices()}
+        run = run_oimis(g, initial_states=states)
+        assert run.independent_set == greedy_mis(g)
+
+
+class TestStrategies:
+    @pytest.mark.parametrize("strategy", list(ActivationStrategy))
+    def test_all_strategies_same_result(self, strategy):
+        g = erdos_renyi(60, 200, seed=3)
+        assert run_oimis(g, strategy=strategy).independent_set == greedy_mis(g)
+
+    def test_lr_reduces_active_vertices(self):
+        g = erdos_renyi(100, 400, seed=5)
+        base = run_oimis(g, strategy=ActivationStrategy.ALL)
+        lr = run_oimis(g, strategy=ActivationStrategy.LOWER_RANKING)
+        assert lr.metrics.active_vertices < base.metrics.active_vertices
+
+    def test_ss_reduces_further(self):
+        g = erdos_renyi(100, 400, seed=5)
+        lr = run_oimis(g, strategy=ActivationStrategy.LOWER_RANKING)
+        ss = run_oimis(g, strategy=ActivationStrategy.SAME_STATUS)
+        assert ss.metrics.active_vertices <= lr.metrics.active_vertices
+
+    def test_ss_never_more_supersteps(self):
+        g = erdos_renyi(100, 400, seed=6)
+        base = run_oimis(g, strategy=ActivationStrategy.ALL)
+        ss = run_oimis(g, strategy=ActivationStrategy.SAME_STATUS)
+        assert ss.metrics.supersteps <= base.metrics.supersteps
+
+    def test_strategy_paper_names(self):
+        assert ActivationStrategy.ALL.paper_name == "DOIMIS"
+        assert ActivationStrategy.LOWER_RANKING.paper_name == "DOIMIS+"
+        assert ActivationStrategy.SAME_STATUS.paper_name == "DOIMIS*"
+
+
+class TestFullScan:
+    def test_scall_same_result_more_work(self):
+        g = erdos_renyi(80, 300, seed=9)
+        fast = run_oimis(g)
+        dgraph_scan = run_oimis_scan = None
+        from repro.graph.distributed_graph import DistributedGraph
+        from repro.pregel.partition import HashPartitioner
+        from repro.scaleg.engine import ScaleGEngine
+
+        engine = ScaleGEngine(DistributedGraph(g, HashPartitioner(10)))
+        scan = engine.run(OIMISProgram(full_scan=True))
+        assert independent_set_from_states(scan.states) == fast.independent_set
+        assert scan.metrics.compute_work > fast.metrics.compute_work
+        # communication identical: the same states change in the same steps
+        assert scan.metrics.bytes_sent == fast.metrics.bytes_sent
+
+
+class TestPregelVariant:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_pregel_matches_scaleg(self, seed):
+        g = erdos_renyi(50, 160, seed=seed)
+        assert run_oimis_pregel(g).independent_set == run_oimis(g).independent_set
+
+    def test_pregel_costs_more_communication(self):
+        g = erdos_renyi(80, 320, seed=2)
+        pregel = run_oimis_pregel(g)
+        scaleg = run_oimis(g)
+        assert pregel.metrics.bytes_sent > scaleg.metrics.bytes_sent
+
+
+class TestMetricsShape:
+    def test_supersteps_bounded_by_dependency_depth(self):
+        # a star's greedy dependency depth is 1: it settles in O(1)
+        # supersteps regardless of size
+        run = run_oimis(star_graph(60))
+        assert run.metrics.supersteps <= 3
+
+    def test_path_needs_linear_supersteps(self):
+        # the greedy fixpoint of a path propagates one vertex per superstep:
+        # the paper's O(n) superstep bound is tight here
+        run = run_oimis(path_graph(40))
+        assert run.metrics.supersteps > 30
+
+    def test_sync_bytes_is_one_status_byte(self):
+        program = OIMISProgram()
+        assert program.sync_bytes(True) == 1
+        assert program.state_bytes(False) == 1
+
+    def test_run_repr(self):
+        run = run_oimis(path_graph(3))
+        assert "|MIS|=2" in repr(run)

@@ -1,0 +1,76 @@
+"""Unit tests for the vertex total order ``≺`` (Definition 3.1)."""
+
+from repro.core.ordering import (
+    degree_order,
+    dominated_neighbors,
+    dominating_neighbors,
+    precedes,
+    rank,
+)
+from repro.graph.dynamic_graph import DynamicGraph
+
+
+def _graph():
+    # degrees: 1 -> 1, 2 -> 3, 3 -> 2, 4 -> 2
+    return DynamicGraph.from_edges([(1, 2), (2, 3), (2, 4), (3, 4)])
+
+
+class TestRank:
+    def test_rank_is_degree_then_id(self):
+        g = _graph()
+        assert rank(g, 1) == (1, 1)
+        assert rank(g, 2) == (3, 2)
+
+    def test_precedes_by_degree(self):
+        g = _graph()
+        assert precedes(g, 1, 2)
+        assert not precedes(g, 2, 1)
+
+    def test_precedes_ties_broken_by_id(self):
+        g = _graph()
+        assert precedes(g, 3, 4)  # both degree 2
+        assert not precedes(g, 4, 3)
+
+    def test_total_order_is_transitive_and_strict(self):
+        g = _graph()
+        vs = g.sorted_vertices()
+        for u in vs:
+            assert not precedes(g, u, u)
+            for v in vs:
+                for w in vs:
+                    if precedes(g, u, v) and precedes(g, v, w):
+                        assert precedes(g, u, w)
+
+    def test_rank_tracks_dynamic_degrees(self):
+        g = _graph()
+        assert precedes(g, 1, 3)
+        g.add_edge(1, 4)  # deg(1) becomes 2; tie with 3 broken by id: 1 < 3
+        assert precedes(g, 1, 3)
+        g.add_edge(1, 3)  # deg(1)=3 > deg(3)=3... tie by id again
+        assert rank(g, 1) == (3, 1)
+        assert precedes(g, 1, 3)
+
+
+class TestOrderHelpers:
+    def test_degree_order_sorted(self):
+        g = _graph()
+        order = degree_order(g)
+        assert order == [1, 3, 4, 2]
+
+    def test_dominating_neighbors(self):
+        g = _graph()
+        assert dominating_neighbors(g, 2) == [1, 3, 4]
+        assert dominating_neighbors(g, 1) == []
+
+    def test_dominated_neighbors(self):
+        g = _graph()
+        assert dominated_neighbors(g, 1) == [2]
+        assert dominated_neighbors(g, 3) == [4, 2]
+
+    def test_domination_partition(self):
+        g = _graph()
+        for u in g.vertices():
+            doms = set(dominating_neighbors(g, u))
+            subs = set(dominated_neighbors(g, u))
+            assert doms | subs == g.neighbors(u)
+            assert not doms & subs

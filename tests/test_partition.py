@@ -1,0 +1,93 @@
+"""Unit tests for vertex partitioners."""
+
+import pytest
+
+from repro.errors import PartitionError
+from repro.pregel.partition import (
+    ExplicitPartitioner,
+    HashPartitioner,
+    RangePartitioner,
+    balanced_partition,
+)
+
+
+class TestHashPartitioner:
+    def test_range_respected(self):
+        p = HashPartitioner(7)
+        assert all(0 <= p.worker_of(u) < 7 for u in range(1000))
+
+    def test_deterministic(self):
+        a, b = HashPartitioner(5), HashPartitioner(5)
+        assert [a.worker_of(u) for u in range(100)] == [
+            b.worker_of(u) for u in range(100)
+        ]
+
+    def test_salt_changes_assignment(self):
+        a, b = HashPartitioner(5), HashPartitioner(5, salt=1)
+        assert [a.worker_of(u) for u in range(100)] != [
+            b.worker_of(u) for u in range(100)
+        ]
+
+    def test_reasonable_balance(self):
+        p = HashPartitioner(4)
+        groups = p.partition(range(4000))
+        sizes = [len(g) for g in groups.values()]
+        assert max(sizes) < 1.3 * min(sizes)
+
+    def test_consecutive_ids_spread(self):
+        p = HashPartitioner(4)
+        assigned = {p.worker_of(u) for u in range(16)}
+        assert len(assigned) == 4
+
+    def test_single_worker(self):
+        p = HashPartitioner(1)
+        assert p.worker_of(12345) == 0
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(PartitionError):
+            HashPartitioner(0)
+
+
+class TestRangePartitioner:
+    def test_contiguous(self):
+        p = RangePartitioner(4, max_vertex_id=99)
+        workers = [p.worker_of(u) for u in range(100)]
+        assert workers == sorted(workers)
+        assert set(workers) == {0, 1, 2, 3}
+
+    def test_out_of_range_clamped(self):
+        p = RangePartitioner(4, max_vertex_id=99)
+        assert p.worker_of(10_000) == 3
+        assert p.worker_of(-5) == 0
+
+    def test_invalid_max(self):
+        with pytest.raises(PartitionError):
+            RangePartitioner(4, max_vertex_id=-1)
+
+
+class TestExplicitPartitioner:
+    def test_mapping_respected(self):
+        p = ExplicitPartitioner({1: 2, 5: 0}, num_workers=3)
+        assert p.worker_of(1) == 2
+        assert p.worker_of(5) == 0
+
+    def test_fallback_for_unknown_vertices(self):
+        p = ExplicitPartitioner({1: 2}, num_workers=3)
+        assert 0 <= p.worker_of(999) < 3
+
+    def test_invalid_assignment_rejected(self):
+        with pytest.raises(PartitionError):
+            ExplicitPartitioner({1: 5}, num_workers=3)
+
+
+def test_balanced_partition_is_balanced():
+    p = balanced_partition(list(range(10)), num_workers=3)
+    groups = p.partition(range(10))
+    sizes = sorted(len(g) for g in groups.values())
+    assert sizes == [3, 3, 4]
+
+
+def test_partition_groups_cover_all_workers():
+    p = HashPartitioner(5)
+    groups = p.partition([1])
+    assert set(groups) == {0, 1, 2, 3, 4}

@@ -1,0 +1,135 @@
+"""Tests for the classic vertex-program library (BFS, WCC, PageRank, stats)."""
+
+import pytest
+
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.generators import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    path_graph,
+    star_graph,
+)
+from repro.pregel.library import (
+    bfs_distances,
+    component_members,
+    connected_components,
+    degree_stats,
+    pagerank,
+)
+
+
+class TestBFS:
+    def test_path_distances(self):
+        dist = bfs_distances(path_graph(5), source=0)
+        assert dist == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+
+    def test_unreachable_is_none(self):
+        g = DynamicGraph.from_edges([(0, 1), (5, 6)])
+        dist = bfs_distances(g, source=0)
+        assert dist[1] == 1
+        assert dist[5] is None and dist[6] is None
+
+    def test_cycle_wraps_both_ways(self):
+        dist = bfs_distances(cycle_graph(8), source=0)
+        assert dist[4] == 4
+        assert dist[7] == 1
+
+    def test_matches_serial_bfs(self):
+        import collections
+
+        g = erdos_renyi(50, 120, seed=11)
+        source = g.sorted_vertices()[0]
+        serial = {u: None for u in g.vertices()}
+        serial[source] = 0
+        queue = collections.deque([source])
+        while queue:
+            u = queue.popleft()
+            for v in g.neighbors(u):
+                if serial[v] is None:
+                    serial[v] = serial[u] + 1
+                    queue.append(v)
+        assert bfs_distances(g, source) == serial
+
+
+class TestConnectedComponents:
+    def test_two_components(self):
+        g = DynamicGraph.from_edges([(1, 2), (2, 3), (10, 11)])
+        labels = connected_components(g)
+        assert labels == {1: 1, 2: 1, 3: 1, 10: 10, 11: 10}
+
+    def test_grouping(self):
+        g = DynamicGraph.from_edges([(1, 2), (10, 11)], vertices=[99])
+        groups = component_members(g)
+        assert groups == {1: {1, 2}, 10: {10, 11}, 99: {99}}
+
+    def test_single_component_random(self):
+        g = cycle_graph(30)
+        labels = connected_components(g)
+        assert set(labels.values()) == {0}
+
+
+class TestPageRank:
+    def test_scores_sum_to_one(self):
+        g = erdos_renyi(40, 120, seed=3)
+        scores = pagerank(g, iterations=25)
+        assert sum(scores.values()) == pytest.approx(1.0, abs=1e-6)
+
+    def test_symmetry_on_regular_graph(self):
+        scores = pagerank(complete_graph(6), iterations=15)
+        values = list(scores.values())
+        assert max(values) - min(values) < 1e-12
+
+    def test_hub_outranks_leaves(self):
+        scores = pagerank(star_graph(8), iterations=30)
+        assert scores[0] > 3 * scores[1]
+
+    def test_dangling_mass_handled(self):
+        g = DynamicGraph.from_edges([(1, 2)], vertices=[9])  # 9 is dangling
+        scores = pagerank(g, iterations=20)
+        assert sum(scores.values()) == pytest.approx(1.0, abs=1e-6)
+        assert scores[9] > 0
+
+    def test_worker_count_invariant(self):
+        g = erdos_renyi(30, 90, seed=4)
+        a = pagerank(g, iterations=10, num_workers=1)
+        b = pagerank(g, iterations=10, num_workers=7)
+        for u in g.vertices():
+            assert a[u] == pytest.approx(b[u], abs=1e-12)
+
+
+class TestDegreeStats:
+    def test_star(self):
+        stats = degree_stats(star_graph(7))
+        assert stats == {"max_degree": 7, "edges": 7}
+
+    def test_random(self):
+        g = erdos_renyi(40, 100, seed=5)
+        stats = degree_stats(g)
+        assert stats["edges"] == g.num_edges
+        assert stats["max_degree"] == g.max_degree()
+
+    def test_empty(self):
+        g = DynamicGraph.from_edges([], vertices=[1, 2])
+        stats = degree_stats(g)
+        assert stats == {"max_degree": 0, "edges": 0}
+
+
+class TestComposition:
+    def test_mis_within_giant_component(self):
+        """Library programs compose with the maintainer: restrict MIS
+        maintenance to the giant component found by WCC."""
+        from repro import MISMaintainer
+        from repro.serial.greedy import greedy_mis
+
+        g = DynamicGraph.from_edges(
+            [(0, 1), (1, 2), (2, 3), (10, 11), (11, 12)]
+        )
+        groups = component_members(g)
+        giant = max(groups.values(), key=len)
+        sub = DynamicGraph.from_edges(
+            ((u, v) for u, v in g.edges() if u in giant and v in giant),
+            vertices=giant,
+        )
+        m = MISMaintainer(sub, num_workers=2)
+        assert m.independent_set() == greedy_mis(sub)

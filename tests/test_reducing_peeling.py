@@ -1,0 +1,96 @@
+"""Unit tests for the reducing-peeling near-maximum MIS."""
+
+import pytest
+
+from repro.core.verification import (
+    is_independent_set,
+    is_maximal_independent_set,
+)
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.generators import (
+    barabasi_albert,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    path_graph,
+    star_graph,
+)
+from repro.serial.greedy import greedy_mis
+from repro.serial.reducing_peeling import reducing_peeling_mis
+
+
+class TestExactOnEasyGraphs:
+    """Degree <= 2 graphs need no peeling: the result must be optimum."""
+
+    def test_path_optimal(self):
+        # alpha(P_n) = ceil(n / 2)
+        for n in (2, 3, 4, 5, 8, 11):
+            assert len(reducing_peeling_mis(path_graph(n))) == (n + 1) // 2
+
+    def test_cycle_optimal(self):
+        # alpha(C_n) = floor(n / 2)
+        for n in (3, 4, 5, 8, 9):
+            assert len(reducing_peeling_mis(cycle_graph(n))) == n // 2
+
+    def test_star_optimal(self):
+        assert reducing_peeling_mis(star_graph(7)) == set(range(1, 8))
+
+    def test_isolated_vertices(self):
+        g = DynamicGraph.from_edges([], vertices=[1, 2, 3])
+        assert reducing_peeling_mis(g) == {1, 2, 3}
+
+    def test_triangle_rule(self):
+        assert len(reducing_peeling_mis(complete_graph(3))) == 1
+
+    def test_empty(self):
+        assert reducing_peeling_mis(DynamicGraph()) == set()
+
+
+class TestFolding:
+    def test_two_disjoint_paths_through_fold(self):
+        # P5 forces at least one fold if reductions fire in the middle
+        g = path_graph(5)
+        result = reducing_peeling_mis(g)
+        assert len(result) == 3
+        assert is_independent_set(g, result)
+
+    def test_fold_on_cycle_with_chord(self):
+        g = cycle_graph(6)
+        g.add_edge(0, 3)
+        result = reducing_peeling_mis(g)
+        assert is_maximal_independent_set(g, result)
+        assert len(result) >= 2
+
+
+class TestGeneralGraphs:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_valid_on_random_graphs(self, seed):
+        g = erdos_renyi(50, 160, seed=seed)
+        result = reducing_peeling_mis(g)
+        assert is_maximal_independent_set(g, result)
+
+    def test_input_not_mutated(self):
+        g = erdos_renyi(30, 90, seed=1)
+        snapshot = g.copy()
+        reducing_peeling_mis(g)
+        assert g == snapshot
+
+    def test_quality_competitive_with_greedy(self):
+        total_rp = total_greedy = 0
+        for seed in range(6):
+            g = barabasi_albert(120, 3, seed=seed)
+            total_rp += len(reducing_peeling_mis(g))
+            total_greedy += len(greedy_mis(g))
+        assert total_rp >= total_greedy
+
+    def test_quality_reference_claim(self):
+        """The paper: DOIMIS's set averages ~98% of the reducing-peeling
+        reference on sparse power-law graphs.  We assert the
+        scale-appropriate form on BA stand-ins: >= 90% per graph (dense
+        uniform-random graphs are harder for degree-order greedy; see
+        EXPERIMENTS.md)."""
+        for seed in range(4):
+            g = barabasi_albert(150, 3, seed=seed)
+            greedy_size = len(greedy_mis(g))
+            rp_size = len(reducing_peeling_mis(g))
+            assert greedy_size >= 0.90 * rp_size

@@ -1,0 +1,48 @@
+"""Unit tests for the benchmark report renderers."""
+
+from repro.bench.reporting import format_series, format_table, print_report
+
+
+class TestFormatTable:
+    def test_empty(self):
+        assert "(no rows)" in format_table([], ["a"], title="T")
+
+    def test_alignment_and_title(self):
+        rows = [{"name": "OIMIS", "time": 1.25}, {"name": "DisMIS", "time": 10.5}]
+        text = format_table(rows, ["name", "time"], title="Times")
+        lines = text.splitlines()
+        assert lines[0] == "Times"
+        assert "name" in lines[1] and "time" in lines[1]
+        assert len(lines) == 5  # title, header, rule, two rows
+
+    def test_floats_compact(self):
+        text = format_table([{"x": 0.123456789}], ["x"])
+        assert "0.1235" in text
+
+    def test_missing_cell_blank(self):
+        text = format_table([{"a": 1}], ["a", "b"])
+        assert text.splitlines()[-1].startswith("1")
+
+    def test_non_float_values_stringified(self):
+        text = format_table([{"a": "OOM", "b": 7}], ["a", "b"])
+        assert "OOM" in text
+
+
+class TestFormatSeries:
+    def test_series_rendering(self):
+        series = {
+            "b": [1, 10, 100],
+            "time": [5.0, 2.0, 1.0],
+            "comm": [9.0, 4.0, 2.0],
+        }
+        text = format_series(series, "b", title="Fig 11")
+        assert "Fig 11" in text
+        lines = text.splitlines()
+        assert len(lines) == 6
+        assert lines[3].split()[0] == "1"
+
+
+def test_print_report(capsys):
+    print_report("hello table")
+    out = capsys.readouterr().out
+    assert "hello table" in out

@@ -1,0 +1,236 @@
+"""Unit tests for the ScaleG synchronization-based engine."""
+
+import pytest
+
+from repro.errors import SuperstepLimitExceeded
+from repro.graph.distributed_graph import DistributedGraph
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.generators import path_graph
+from repro.pregel.metrics import (
+    ACTIVATION_ENTRY_BYTES,
+    MESSAGE_OVERHEAD_BYTES,
+    VERTEX_ID_BYTES,
+)
+from repro.pregel.partition import ExplicitPartitioner, HashPartitioner
+from repro.scaleg.engine import ScaleGEngine, ScaleGProgram
+
+
+def _dgraph(graph, workers=2, mapping=None):
+    if mapping is not None:
+        return DistributedGraph(graph, ExplicitPartitioner(mapping, workers))
+    return DistributedGraph(graph, HashPartitioner(workers))
+
+
+class MaxOfNeighbors(ScaleGProgram):
+    """Each vertex converges to the max id in its connected component."""
+
+    def initial_state(self, dgraph, u):
+        return u
+
+    def compute(self, ctx):
+        best = ctx.state
+        for v in ctx.sorted_neighbors():
+            best = max(best, ctx.neighbor_state(v))
+        if best != ctx.state:
+            ctx.set_state(best)
+            for v in ctx.sorted_neighbors():
+                ctx.activate(v)
+
+    def sync_bytes(self, state):
+        return 8
+
+
+class Restless(ScaleGProgram):
+    """Flips forever — exercises the superstep limit."""
+
+    def initial_state(self, dgraph, u):
+        return False
+
+    def compute(self, ctx):
+        ctx.set_state(not ctx.state)
+        for v in ctx.sorted_neighbors():
+            ctx.activate(v)
+        ctx.activate(ctx.vertex)
+
+    def sync_bytes(self, state):
+        return 1
+
+
+class TestSemantics:
+    def test_converges_to_component_max(self):
+        g = DynamicGraph.from_edges([(1, 2), (2, 3), (10, 11)])
+        result = ScaleGEngine(_dgraph(g)).run(MaxOfNeighbors())
+        assert result.states[1] == 3
+        assert result.states[10] == 11
+
+    def test_snapshot_semantics(self):
+        """compute() must read previous-superstep states (double buffering)."""
+        g = path_graph(3)  # 0-1-2
+
+        class Probe(ScaleGProgram):
+            observed = {}
+
+            def initial_state(self, dgraph, u):
+                return u * 10
+
+            def compute(self, ctx):
+                if ctx.superstep == 0:
+                    ctx.set_state(ctx.state + 1)
+                    ctx.activate(ctx.vertex)
+                elif ctx.superstep == 1 and ctx.vertex == 1:
+                    # neighbour 0 changed at superstep 0; we must see its
+                    # *new* value now (post-superstep-0 snapshot)
+                    Probe.observed[1] = ctx.neighbor_state(0)
+
+            def sync_bytes(self, state):
+                return 8
+
+        ScaleGEngine(_dgraph(g)).run(Probe())
+        assert Probe.observed[1] == 1
+
+    def test_initial_active_subset(self):
+        g = DynamicGraph.from_edges([(1, 2), (3, 4)])
+        result = ScaleGEngine(_dgraph(g)).run(MaxOfNeighbors(), initial_active=[1, 2])
+        assert result.states[1] == 2
+        assert result.states[3] == 3  # untouched component keeps initial state
+
+    def test_superstep_limit(self, path5):
+        with pytest.raises(SuperstepLimitExceeded):
+            ScaleGEngine(_dgraph(path5)).run(Restless(), max_supersteps=4)
+
+    def test_activation_predicate_filters_after_application(self):
+        g = path_graph(2)
+
+        class Picky(ScaleGProgram):
+            ran = []
+
+            def initial_state(self, dgraph, u):
+                return u
+
+            def compute(self, ctx):
+                Picky.ran.append((ctx.superstep, ctx.vertex))
+                if ctx.superstep == 0 and ctx.vertex == 0:
+                    ctx.set_state(100)
+                    # only activate the neighbour if (post-superstep) its
+                    # state is even — vertex 1 keeps state 1, so filtered
+                    ctx.activate(1, lambda src, dst: dst % 2 == 0)
+
+            def sync_bytes(self, state):
+                return 8
+
+        ScaleGEngine(_dgraph(g)).run(Picky())
+        assert (1, 1) not in Picky.ran
+
+    def test_resume_with_existing_states(self):
+        g = path_graph(3)
+        engine = ScaleGEngine(_dgraph(g))
+        first = engine.run(MaxOfNeighbors())
+        # resume: nothing active -> nothing changes, zero supersteps
+        again = engine.run(
+            MaxOfNeighbors(), states=dict(first.states), initial_active=[]
+        )
+        assert again.states == first.states
+        assert again.metrics.supersteps == 0
+
+
+class TestCosts:
+    def test_sync_charged_once_per_guest_machine(self):
+        # star: centre 0 on worker 0; leaves 1,2 on worker 1, leaf 3 on worker 2
+        g = DynamicGraph.from_edges([(0, 1), (0, 2), (0, 3)])
+        dg = _dgraph(g, 3, {0: 0, 1: 1, 2: 1, 3: 2})
+
+        class CentreFlip(ScaleGProgram):
+            def initial_state(self, dgraph, u):
+                return 0
+
+            def compute(self, ctx):
+                if ctx.vertex == 0:
+                    ctx.set_state(1)
+
+            def sync_bytes(self, state):
+                return 4
+
+        result = ScaleGEngine(dg).run(CentreFlip(), initial_active=[0])
+        # one sync record to worker 1 (shared by both leaves) + one to worker 2
+        expected = 2 * (MESSAGE_OVERHEAD_BYTES + VERTEX_ID_BYTES + 4)
+        assert result.metrics.bytes_sent == expected
+        assert result.metrics.remote_messages == 2
+
+    def test_remote_activation_piggybacked_when_changed(self):
+        g = path_graph(2)
+        dg = _dgraph(g, 2, {0: 0, 1: 1})
+
+        class FlipAndWake(ScaleGProgram):
+            def initial_state(self, dgraph, u):
+                return 0
+
+            def compute(self, ctx):
+                if ctx.superstep == 0 and ctx.vertex == 0:
+                    ctx.set_state(1)
+                    ctx.activate(1)
+
+            def sync_bytes(self, state):
+                return 1
+
+        result = ScaleGEngine(dg).run(FlipAndWake(), initial_active=[0])
+        sync = MESSAGE_OVERHEAD_BYTES + VERTEX_ID_BYTES + 1
+        assert result.metrics.bytes_sent == sync + ACTIVATION_ENTRY_BYTES
+
+    def test_remote_activation_standalone_when_unchanged(self):
+        g = path_graph(2)
+        dg = _dgraph(g, 2, {0: 0, 1: 1})
+
+        class WakeOnly(ScaleGProgram):
+            def initial_state(self, dgraph, u):
+                return 0
+
+            def compute(self, ctx):
+                if ctx.superstep == 0 and ctx.vertex == 0:
+                    ctx.activate(1)
+
+            def sync_bytes(self, state):
+                return 1
+
+        result = ScaleGEngine(dg).run(WakeOnly(), initial_active=[0])
+        assert result.metrics.bytes_sent == MESSAGE_OVERHEAD_BYTES + VERTEX_ID_BYTES
+
+    def test_local_activity_free_on_the_wire(self):
+        g = path_graph(3)
+        dg = _dgraph(g, 1)
+        result = ScaleGEngine(dg).run(MaxOfNeighbors())
+        assert result.metrics.bytes_sent == 0
+        assert result.metrics.messages > 0
+
+    def test_force_sync_charges_without_state_change(self):
+        g = path_graph(2)
+        dg = _dgraph(g, 2, {0: 0, 1: 1})
+
+        class Announcer(ScaleGProgram):
+            def initial_state(self, dgraph, u):
+                return 0
+
+            def compute(self, ctx):
+                if ctx.superstep == 0 and ctx.vertex == 0:
+                    ctx.force_sync()
+
+            def sync_bytes(self, state):
+                return 2
+
+        result = ScaleGEngine(dg).run(Announcer(), initial_active=[0])
+        assert result.metrics.bytes_sent == MESSAGE_OVERHEAD_BYTES + VERTEX_ID_BYTES + 2
+        assert result.metrics.state_changes == 0
+
+    def test_work_charged_per_neighbor_read(self):
+        g = path_graph(3)
+        result = ScaleGEngine(_dgraph(g, 1)).run(MaxOfNeighbors())
+        assert result.metrics.compute_work >= 4  # at least one read per edge-end
+
+    def test_metrics_accumulation_across_runs(self):
+        g = path_graph(3)
+        engine = ScaleGEngine(_dgraph(g, 2))
+        first = engine.run(MaxOfNeighbors())
+        merged = engine.run(
+            MaxOfNeighbors(), metrics=first.metrics
+        )
+        assert merged.metrics is first.metrics
+        assert merged.metrics.supersteps >= first.metrics.supersteps

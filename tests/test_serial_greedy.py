@@ -1,0 +1,85 @@
+"""Unit tests for the serial greedy oracle and Luby's algorithm."""
+
+import pytest
+
+from repro.core.verification import is_maximal_independent_set
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.generators import (
+    complete_bipartite,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    path_graph,
+    star_graph,
+)
+from repro.serial.greedy import greedy_mis, greedy_mis_arbitrary_order, luby_mis
+
+
+class TestGreedy:
+    def test_empty(self):
+        assert greedy_mis(DynamicGraph()) == set()
+
+    def test_path(self):
+        assert greedy_mis(path_graph(5)) == {0, 2, 4}
+
+    def test_star_takes_leaves(self):
+        assert greedy_mis(star_graph(9)) == set(range(1, 10))
+
+    def test_clique(self):
+        assert greedy_mis(complete_graph(7)) == {0}
+
+    def test_bipartite_takes_larger_side(self):
+        # K(3,4): left degree 4, right degree 3 -> right processed first
+        assert greedy_mis(complete_bipartite(3, 4)) == {3, 4, 5, 6}
+
+    def test_cycle_size(self):
+        assert len(greedy_mis(cycle_graph(8))) == 4
+        assert len(greedy_mis(cycle_graph(9))) == 4
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_always_maximal(self, seed):
+        g = erdos_renyi(50, 150, seed=seed)
+        assert is_maximal_independent_set(g, greedy_mis(g))
+
+    def test_respects_current_degrees(self):
+        g = path_graph(3)
+        before = greedy_mis(g)
+        g.add_edge(0, 2)
+        after = greedy_mis(g)
+        assert before == {0, 2}
+        assert after == {0}
+
+
+class TestArbitraryOrder:
+    def test_order_changes_result(self):
+        g = path_graph(4)  # 0-1-2-3
+        assert greedy_mis_arbitrary_order(g, [1, 3, 0, 2]) == {1, 3}
+        assert greedy_mis_arbitrary_order(g, [0, 1, 2, 3]) == {0, 2}
+
+    def test_duplicates_in_order_ignored(self):
+        g = path_graph(3)
+        assert greedy_mis_arbitrary_order(g, [0, 0, 2, 2, 1]) == {0, 2}
+
+    def test_always_independent(self):
+        g = erdos_renyi(40, 120, seed=9)
+        result = greedy_mis_arbitrary_order(g, sorted(g.vertices(), reverse=True))
+        assert is_maximal_independent_set(g, result)
+
+
+class TestLuby:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_maximal_on_random_graphs(self, seed):
+        g = erdos_renyi(50, 150, seed=seed)
+        assert is_maximal_independent_set(g, luby_mis(g, seed=seed))
+
+    def test_deterministic_under_seed(self):
+        g = erdos_renyi(40, 100, seed=1)
+        assert luby_mis(g, seed=5) == luby_mis(g, seed=5)
+
+    def test_empty(self):
+        assert luby_mis(DynamicGraph()) == set()
+
+    def test_isolated_vertices_always_selected(self):
+        g = DynamicGraph.from_edges([(1, 2)], vertices=[7, 8])
+        result = luby_mis(g, seed=0)
+        assert {7, 8} <= result

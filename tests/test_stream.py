@@ -1,0 +1,171 @@
+"""Tests for the streaming session layer."""
+
+import pytest
+
+from repro import MISMaintainer
+from repro.errors import WorkloadError
+from repro.graph.generators import erdos_renyi, path_graph
+from repro.graph.updates import EdgeDeletion, EdgeInsertion
+from repro.serial.greedy import greedy_mis
+from repro.stream import StreamingSession
+from repro.bench.workloads import delete_reinsert_workload
+
+
+def _session(graph=None, **kw):
+    graph = graph if graph is not None else path_graph(6)
+    return StreamingSession(MISMaintainer(graph, num_workers=3), **kw)
+
+
+class TestWindowing:
+    def test_count_trigger(self):
+        g = erdos_renyi(30, 90, seed=1)
+        ops = delete_reinsert_workload(g, 10, seed=0)
+        session = StreamingSession(
+            MISMaintainer(g.copy(), num_workers=3), window_size=5
+        )
+        reports = session.offer_many(ops)
+        assert len(reports) == 4  # 20 ops / window 5
+        assert session.pending == 0
+        assert all(r.operations == 5 for r in reports)
+
+    def test_pending_until_window_full(self):
+        session = _session(window_size=10)
+        assert session.offer(EdgeInsertion(0, 2)) is None
+        assert session.pending == 1
+
+    def test_flush_applies_partial_window(self):
+        session = _session(window_size=10)
+        session.offer(EdgeInsertion(0, 2))
+        report = session.flush()
+        assert report.operations == 1
+        assert session.maintainer.graph.has_edge(0, 2)
+
+    def test_flush_empty_returns_none(self):
+        assert _session().flush() is None
+
+    def test_time_trigger(self):
+        session = _session(window_size=100, window_interval=10.0)
+        session.offer(EdgeInsertion(0, 2), timestamp=0.0)
+        session.offer(EdgeInsertion(0, 3), timestamp=5.0)
+        # crossing the interval flushes the previous window first
+        report = session.offer(EdgeInsertion(0, 4), timestamp=12.0)
+        assert report is not None and report.operations == 2
+        assert session.pending == 1
+
+    def test_timestamps_must_be_monotone(self):
+        session = _session(window_interval=5.0)
+        session.offer(EdgeInsertion(0, 2), timestamp=3.0)
+        with pytest.raises(WorkloadError, match="non-decreasing"):
+            session.offer(EdgeInsertion(0, 3), timestamp=1.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(WorkloadError):
+            _session(window_size=0)
+        with pytest.raises(WorkloadError):
+            _session(window_interval=0.0)
+
+
+class TestMembershipDeltas:
+    def test_entered_and_left(self):
+        # path 0-1-2-3-4-5: set {0,2,4}... actually compute from oracle
+        session = _session(window_size=1)
+        before = session.independent_set()
+        report = session.offer(EdgeDeletion(2, 3))
+        after = session.independent_set()
+        assert report.entered == after - before
+        assert report.left == before - after
+        assert report.churn == len(report.entered) + len(report.left)
+
+    def test_membership_view_lags_buffer(self):
+        session = _session(window_size=10)
+        before = session.independent_set()
+        session.offer(EdgeDeletion(0, 1))
+        assert session.independent_set() == before  # not yet flushed
+        session.flush()
+        assert session.independent_set() == greedy_mis(session.maintainer.graph)
+
+    def test_deltas_chain_consistently(self):
+        g = erdos_renyi(40, 120, seed=2)
+        ops = delete_reinsert_workload(g, 20, seed=1)
+        session = StreamingSession(
+            MISMaintainer(g.copy(), num_workers=3), window_size=7
+        )
+        membership = session.independent_set()
+        session.offer_many(ops)
+        session.close()
+        for report in session.history:
+            membership = (membership | report.entered) - report.left
+        assert membership == greedy_mis(session.maintainer.graph)
+
+
+class TestCallbacksAndLifecycle:
+    def test_on_window_callback(self):
+        seen = []
+        g = erdos_renyi(30, 90, seed=3)
+        ops = delete_reinsert_workload(g, 6, seed=0)
+        session = StreamingSession(
+            MISMaintainer(g.copy(), num_workers=3),
+            window_size=4,
+            on_window=seen.append,
+        )
+        session.offer_many(ops)
+        session.close()
+        assert [r.index for r in seen] == [0, 1, 2]
+
+    def test_close_flushes_and_seals(self):
+        session = _session(window_size=100)
+        session.offer(EdgeInsertion(0, 2))
+        report = session.close()
+        assert report.operations == 1
+        with pytest.raises(WorkloadError, match="closed"):
+            session.offer(EdgeInsertion(0, 3))
+
+    def test_context_manager(self):
+        g = erdos_renyi(30, 90, seed=4)
+        ops = delete_reinsert_workload(g, 5, seed=0)
+        with StreamingSession(
+            MISMaintainer(g.copy(), num_workers=3), window_size=1000
+        ) as session:
+            session.offer_many(ops)
+        assert session.windows_flushed == 1
+        assert session.totals()["operations"] == 10
+
+    def test_totals_accumulate(self):
+        g = erdos_renyi(30, 90, seed=5)
+        ops = delete_reinsert_workload(g, 10, seed=2)
+        session = StreamingSession(
+            MISMaintainer(g.copy(), num_workers=3), window_size=5
+        )
+        session.offer_many(ops)
+        totals = session.totals()
+        assert totals["windows"] == 4
+        assert totals["operations"] == 20
+        assert totals["supersteps"] > 0
+
+    def test_works_with_baselines(self):
+        from repro.core.baselines import make_algorithm
+
+        g = erdos_renyi(30, 90, seed=6)
+        ops = delete_reinsert_workload(g, 5, seed=3)
+        session = StreamingSession(
+            make_algorithm("SCALL", g.copy(), num_workers=3), window_size=5
+        )
+        session.offer_many(ops)
+        session.close()
+        assert session.independent_set() == greedy_mis(g)
+
+    def test_works_with_weighted_maintainer(self):
+        from repro.core.weighted import WeightedMISMaintainer, weighted_greedy_mis
+
+        g = erdos_renyi(30, 90, seed=7)
+        weights = {u: (u % 5) + 1.0 for u in g.vertices()}
+        session = StreamingSession(
+            WeightedMISMaintainer(g.copy(), weights=weights, num_workers=3),
+            window_size=4,
+        )
+        ops = delete_reinsert_workload(g, 8, seed=4)
+        session.offer_many(ops)
+        session.close()
+        assert session.independent_set() == weighted_greedy_mis(
+            session.maintainer.graph, session.maintainer.weights
+        )

@@ -1,0 +1,138 @@
+"""Unit tests for the swap-based maintainers (DOSwap/DTSwap/Lazy*)."""
+
+import random
+
+import pytest
+
+from repro.core.verification import is_maximal_independent_set
+from repro.errors import MemoryBudgetExceeded
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.generators import erdos_renyi, path_graph, star_graph
+from repro.graph.updates import EdgeDeletion, EdgeInsertion
+from repro.serial.swap import DOSwap, DTSwap, LazyDOSwap, LazyDTSwap, _SwapEngine
+
+ALL_VARIANTS = [DOSwap, DTSwap, LazyDOSwap, LazyDTSwap]
+
+
+class TestSwapEngine:
+    def test_tightness_consistent_after_moves(self):
+        g = erdos_renyi(30, 90, seed=1)
+        engine = _SwapEngine(g)
+        # brute-force check the index
+        for u in g.vertices():
+            expected = sum(1 for v in g.neighbors(u) if v in engine.members)
+            assert engine.tight[u] == expected
+
+    def test_one_swap_on_star(self):
+        g = star_graph(3)
+        engine = _SwapEngine(g)
+        # force the bad solution {0}
+        for u in list(engine.members):
+            engine.remove_member(u)
+        engine.add_member(0)
+        pair = engine.one_swap(0)
+        assert pair is not None
+        engine.apply_one_swap(0, pair)
+        assert is_maximal_independent_set(g, engine.members)
+        assert len(engine.members) == 3
+
+    def test_one_swap_none_when_locally_optimal(self):
+        g = path_graph(3)
+        engine = _SwapEngine(g)  # greedy gives {0, 2}
+        assert engine.one_swap(0) is None
+
+    def test_two_swap_requires_members(self):
+        g = path_graph(4)
+        engine = _SwapEngine(g)
+        assert engine.two_swap(1, 1) is None
+        assert engine.two_swap(0, 99) is None
+
+
+class TestMaintenance:
+    @pytest.mark.parametrize("cls", ALL_VARIANTS)
+    def test_initial_maximal(self, cls):
+        g = erdos_renyi(40, 120, seed=2)
+        alg = cls(g.copy())
+        assert is_maximal_independent_set(alg.graph, alg.independent_set())
+
+    @pytest.mark.parametrize("cls", ALL_VARIANTS)
+    def test_maximality_through_random_stream(self, cls):
+        g = erdos_renyi(40, 100, seed=3)
+        alg = cls(g.copy())
+        rng = random.Random(3)
+        for _ in range(50):
+            if rng.random() < 0.5 and alg.graph.num_edges:
+                edge = rng.choice(alg.graph.sorted_edges())
+                alg.apply(EdgeDeletion(*edge))
+            else:
+                u, v = rng.randrange(40), rng.randrange(40)
+                if u == v or alg.graph.has_edge(u, v):
+                    continue
+                alg.apply(EdgeInsertion(u, v))
+            assert is_maximal_independent_set(alg.graph, alg.independent_set())
+
+    def test_swap_quality_beats_plain_greedy(self):
+        from repro.serial.greedy import greedy_mis
+
+        total_swap = total_greedy = 0
+        for seed in range(5):
+            g = erdos_renyi(60, 240, seed=seed)
+            total_swap += len(DTSwap(g.copy()))
+            total_greedy += len(greedy_mis(g))
+        assert total_swap > total_greedy
+
+    def test_dtswap_at_least_doswap_on_average(self):
+        total_one = total_two = 0
+        for seed in range(5):
+            g = erdos_renyi(50, 220, seed=seed + 50)
+            total_one += len(DOSwap(g.copy()))
+            total_two += len(DTSwap(g.copy()))
+        assert total_two >= total_one
+
+    def test_lazy_close_to_eager(self):
+        g = erdos_renyi(60, 240, seed=11)
+        ops = [EdgeDeletion(*e) for e in g.sorted_edges()[:12]]
+        eager, lazy = DTSwap(g.copy()), LazyDTSwap(g.copy())
+        eager.apply_batch(ops)
+        lazy.apply_batch(ops)
+        assert abs(len(eager) - len(lazy)) <= max(2, len(eager) // 20)
+
+    def test_new_vertex_via_edge_insert(self):
+        alg = DOSwap(path_graph(3))
+        alg.apply(EdgeInsertion(2, 50))
+        assert alg.graph.has_vertex(50)
+        assert is_maximal_independent_set(alg.graph, alg.independent_set())
+
+    def test_unsupported_op_rejected(self):
+        alg = DOSwap(path_graph(3))
+        with pytest.raises(TypeError):
+            alg.apply(42)
+
+    def test_counters_and_stream(self):
+        g = erdos_renyi(30, 80, seed=12)
+        alg = LazyDOSwap(g.copy())
+        ops = [EdgeDeletion(*e) for e in g.sorted_edges()[:5]]
+        alg.apply_stream(ops)
+        assert alg.updates_applied == 5
+
+
+class TestMemory:
+    def test_budget_on_construction(self):
+        g = erdos_renyi(200, 800, seed=13)
+        with pytest.raises(MemoryBudgetExceeded):
+            DTSwap(g, memory_budget_mb=0.001)
+
+    def test_lazy_model_lighter(self):
+        from repro.serial.memory_model import LAZY_SWAP_MODEL, SWAP_MODEL
+
+        g = erdos_renyi(50, 200, seed=14)
+        assert LAZY_SWAP_MODEL.mb_for(g) < SWAP_MODEL.mb_for(g)
+
+    def test_budget_checked_on_growth(self):
+        g = DynamicGraph.from_edges([(0, 1)])
+        from repro.serial.memory_model import SWAP_MODEL
+
+        alg = DTSwap(g, memory_budget_mb=SWAP_MODEL.mb_for(g) * 1.01)
+        with pytest.raises(MemoryBudgetExceeded):
+            for v in range(2, 200):
+                alg.apply(EdgeInsertion(0, v))

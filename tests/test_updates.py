@@ -1,0 +1,95 @@
+"""Unit tests for update operations, batches, and affected-set derivation."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.updates import (
+    EdgeDeletion,
+    EdgeInsertion,
+    UpdateBatch,
+    VertexInsertion,
+    affected_vertices,
+    apply_batch,
+    apply_edge_update,
+)
+
+
+class TestOperations:
+    def test_insertion_edge_canonical(self):
+        assert EdgeInsertion(5, 2).edge == (2, 5)
+
+    def test_deletion_edge_canonical(self):
+        assert EdgeDeletion(2, 5).edge == (2, 5)
+
+    def test_inverse_roundtrip(self):
+        ins = EdgeInsertion(1, 2)
+        assert ins.inverse() == EdgeDeletion(1, 2)
+        assert ins.inverse().inverse() == ins
+
+    def test_vertex_insertion_expands_to_edges(self):
+        op = VertexInsertion(9, neighbors=(1, 2))
+        assert op.edge_updates() == [EdgeInsertion(9, 1), EdgeInsertion(9, 2)]
+
+    def test_operations_are_hashable(self):
+        assert len({EdgeInsertion(1, 2), EdgeInsertion(1, 2), EdgeDeletion(1, 2)}) == 2
+
+
+class TestUpdateBatch:
+    def test_iteration_preserves_order(self):
+        ops = [EdgeInsertion(1, 2), EdgeDeletion(3, 4)]
+        batch = UpdateBatch(ops)
+        assert list(batch) == ops
+        assert len(batch) == 2
+        assert batch[1] == ops[1]
+
+    def test_touched_vertices(self):
+        batch = UpdateBatch([EdgeInsertion(1, 2), EdgeDeletion(2, 3)])
+        assert batch.touched_vertices() == {1, 2, 3}
+
+    def test_inverse_reverses_and_inverts(self):
+        batch = UpdateBatch([EdgeInsertion(1, 2), EdgeDeletion(3, 4)])
+        inv = batch.inverse()
+        assert list(inv) == [EdgeInsertion(3, 4), EdgeDeletion(1, 2)]
+
+    def test_rejects_vertex_operations(self):
+        with pytest.raises(WorkloadError):
+            UpdateBatch([VertexInsertion(1)])
+        batch = UpdateBatch()
+        with pytest.raises(WorkloadError):
+            batch.append(VertexInsertion(1))
+
+    def test_repr_counts(self):
+        batch = UpdateBatch([EdgeInsertion(1, 2), EdgeDeletion(3, 4)])
+        assert "insertions=1" in repr(batch)
+
+
+class TestApply:
+    def test_apply_edge_update(self):
+        g = DynamicGraph.from_edges([(1, 2)])
+        apply_edge_update(g, EdgeInsertion(2, 3))
+        assert g.has_edge(2, 3)
+        apply_edge_update(g, EdgeDeletion(1, 2))
+        assert not g.has_edge(1, 2)
+
+    def test_apply_batch_returns_affected(self, path5):
+        # insert (0, 4): affected = {0, 4} + their neighbours on the updated
+        # graph = {1, 3, and each other}
+        affected = apply_batch(path5, [EdgeInsertion(0, 4)])
+        assert affected == {0, 1, 3, 4}
+
+    def test_apply_batch_deletion_affected_on_updated_graph(self, path5):
+        affected = apply_batch(path5, [EdgeDeletion(1, 2)])
+        # post-deletion neighbours: nbr(1) = {0}, nbr(2) = {3}
+        assert affected == {0, 1, 2, 3}
+
+    def test_affected_vertices_skips_removed(self, path5):
+        path5.remove_vertex(2)
+        assert affected_vertices(path5, {2, 1}) == {0, 1}
+
+    def test_batch_order_matters_for_validity(self):
+        g = DynamicGraph.from_edges([(1, 2)])
+        # delete then re-insert the same edge inside one batch is valid
+        affected = apply_batch(g, [EdgeDeletion(1, 2), EdgeInsertion(1, 2)])
+        assert g.has_edge(1, 2)
+        assert affected == {1, 2}

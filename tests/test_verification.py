@@ -1,0 +1,83 @@
+"""Unit tests for the result-verification helpers."""
+
+import pytest
+
+from repro.core.verification import (
+    assert_valid_mis,
+    is_greedy_fixpoint,
+    is_independent_set,
+    is_maximal_independent_set,
+    set_quality,
+)
+from repro.errors import VerificationError
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.generators import erdos_renyi, path_graph
+from repro.serial.greedy import greedy_mis
+
+
+@pytest.fixture
+def p5():
+    return path_graph(5)
+
+
+class TestIndependence:
+    def test_valid_set(self, p5):
+        assert is_independent_set(p5, {0, 2, 4})
+
+    def test_adjacent_pair_rejected(self, p5):
+        assert not is_independent_set(p5, {0, 1})
+
+    def test_missing_vertex_rejected(self, p5):
+        assert not is_independent_set(p5, {99})
+
+    def test_empty_set_is_independent(self, p5):
+        assert is_independent_set(p5, set())
+
+
+class TestMaximality:
+    def test_maximal(self, p5):
+        assert is_maximal_independent_set(p5, {0, 2, 4})
+
+    def test_non_maximal(self, p5):
+        assert not is_maximal_independent_set(p5, {0})  # 2, 3 or 4 addable
+        assert not is_maximal_independent_set(p5, set())
+
+    def test_non_independent_is_not_maximal(self, p5):
+        assert not is_maximal_independent_set(p5, {0, 1, 3})
+
+
+class TestFixpoint:
+    def test_greedy_is_fixpoint(self):
+        g = erdos_renyi(40, 120, seed=81)
+        assert is_greedy_fixpoint(g, greedy_mis(g))
+
+    def test_other_maximal_sets_are_not(self, p5):
+        # {1, 3} U {nothing else}: maximal? 0 adjacent to 1, 4 adjacent to 3
+        candidate = {1, 3}
+        assert is_maximal_independent_set(p5, candidate)
+        assert not is_greedy_fixpoint(p5, candidate)
+
+    def test_empty_graph(self):
+        assert is_greedy_fixpoint(DynamicGraph(), set())
+
+
+class TestAssertValid:
+    def test_passes_on_oracle(self):
+        g = erdos_renyi(30, 90, seed=82)
+        assert_valid_mis(g, greedy_mis(g))
+
+    def test_reports_edge_inside_set(self, p5):
+        with pytest.raises(VerificationError, match="edge"):
+            assert_valid_mis(p5, {0, 1})
+
+    def test_reports_fixpoint_violation(self, p5):
+        with pytest.raises(VerificationError, match="fixpoint"):
+            assert_valid_mis(p5, {1, 3})
+
+
+class TestQuality:
+    def test_prec_ratio(self):
+        assert set_quality(98, 100) == pytest.approx(0.98)
+
+    def test_zero_reference(self):
+        assert set_quality(0, 0) == 1.0

@@ -1,0 +1,109 @@
+"""Unit tests for the update-workload generators."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.graph.generators import erdos_renyi, path_graph
+from repro.graph.updates import EdgeDeletion, EdgeInsertion, apply_edge_update
+from repro.bench.workloads import (
+    batched,
+    delete_reinsert_workload,
+    deletion_insertion_halves,
+    mixed_workload,
+    sample_edges,
+)
+
+
+class TestSampleEdges:
+    def test_samples_existing_edges(self):
+        g = erdos_renyi(30, 90, seed=1)
+        edges = sample_edges(g, 10, seed=2)
+        assert len(edges) == 10
+        assert len(set(edges)) == 10
+        assert all(g.has_edge(u, v) for u, v in edges)
+
+    def test_deterministic(self):
+        g = erdos_renyi(30, 90, seed=1)
+        assert sample_edges(g, 5, seed=3) == sample_edges(g, 5, seed=3)
+
+    def test_too_many_rejected(self):
+        with pytest.raises(WorkloadError):
+            sample_edges(path_graph(3), 5)
+
+
+class TestDeleteReinsert:
+    def test_protocol_shape(self):
+        g = erdos_renyi(30, 90, seed=4)
+        ops = delete_reinsert_workload(g, 10, seed=0)
+        assert len(ops) == 20
+        assert all(isinstance(op, EdgeDeletion) for op in ops[:10])
+        assert all(isinstance(op, EdgeInsertion) for op in ops[10:])
+        # the insertion half re-inserts exactly the deleted edges
+        assert {op.edge for op in ops[:10]} == {op.edge for op in ops[10:]}
+
+    def test_replay_restores_graph(self):
+        g = erdos_renyi(30, 90, seed=5)
+        snapshot = g.copy()
+        for op in delete_reinsert_workload(g, 12, seed=1):
+            apply_edge_update(g, op)
+        assert g == snapshot
+
+    def test_halves_split(self):
+        g = erdos_renyi(30, 90, seed=6)
+        ops = delete_reinsert_workload(g, 8, seed=2)
+        dels, inss = deletion_insertion_halves(ops)
+        assert len(dels) == len(inss) == 8
+
+
+class TestMixedWorkload:
+    def test_valid_replay(self):
+        g = erdos_renyi(25, 60, seed=7)
+        ops = mixed_workload(g, 80, seed=3)
+        assert len(ops) == 80
+        for op in ops:  # raises if any op is invalid
+            apply_edge_update(g, op)
+
+    def test_insert_ratio_extremes(self):
+        g = erdos_renyi(25, 60, seed=8)
+        all_ins = mixed_workload(g, 30, insert_ratio=1.0, seed=4)
+        assert all(isinstance(op, EdgeInsertion) for op in all_ins)
+        all_del = mixed_workload(g, 30, insert_ratio=0.0, seed=4)
+        assert all(isinstance(op, EdgeDeletion) for op in all_del)
+
+    def test_deletions_fall_back_to_insertions_when_empty(self):
+        # with no edges, a delete-only stream must insert first (then it may
+        # alternate delete/insert) — and stay valid throughout
+        g = erdos_renyi(10, 0, seed=0)
+        ops = mixed_workload(g, 5, insert_ratio=0.0, seed=1)
+        assert isinstance(ops[0], EdgeInsertion)
+        for op in ops:
+            apply_edge_update(g, op)
+
+    def test_invalid_parameters(self):
+        g = erdos_renyi(10, 10, seed=0)
+        with pytest.raises(WorkloadError):
+            mixed_workload(g, 5, insert_ratio=1.5)
+        from repro.graph.dynamic_graph import DynamicGraph
+
+        with pytest.raises(WorkloadError):
+            mixed_workload(DynamicGraph(), 5)
+
+    def test_deterministic(self):
+        g = erdos_renyi(20, 40, seed=9)
+        assert mixed_workload(g, 25, seed=5) == mixed_workload(g, 25, seed=5)
+
+
+class TestBatched:
+    def test_even_split(self):
+        ops = [EdgeInsertion(i, i + 1) for i in range(0, 20, 2)]
+        chunks = list(batched(ops, 5))
+        assert [len(c) for c in chunks] == [5, 5]
+
+    def test_ragged_tail(self):
+        ops = [EdgeInsertion(i, i + 1) for i in range(0, 14, 2)]
+        chunks = list(batched(ops, 3))
+        assert [len(c) for c in chunks] == [3, 3, 1]
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(WorkloadError):
+            list(batched([], 0))
