@@ -1,0 +1,48 @@
+"""Static and runtime correctness tooling for vertex programs.
+
+The paper's central results (Theorems 4.1/4.2/6.1) are *determinism*
+claims: OIMIS/DOIMIS converge to the unique greedy fixpoint of the total
+order ``≺`` regardless of execution or update order.  The proofs lean on a
+coding discipline the engines cannot enforce by construction — deterministic
+neighbour iteration, double-buffered state reads, activate-on-change,
+no cross-superstep aliasing of mutable state.  This package enforces that
+discipline two ways:
+
+- :mod:`repro.analysis.linter` — an AST-based static linter over vertex
+  programs and engine modules, reporting typed :class:`~repro.analysis.findings.Finding`
+  objects for the rule families D1 (non-deterministic iteration), B1
+  (double-buffer violations), A1 (activation discipline) and S1 (sync
+  hygiene).  Exposed on the CLI as ``repro-mis lint``.
+- :mod:`repro.analysis.runtime` — an opt-in :class:`ContractChecker` the
+  engines call at superstep barriers (double-buffer isolation) and at
+  convergence (independence + maximality of the reported set).  Enable with
+  ``REPRO_CONTRACTS=1`` or an explicit ``contracts=`` engine argument.
+"""
+
+from repro.analysis.findings import (
+    RULES,
+    Finding,
+    Rule,
+    render_json,
+    render_text,
+)
+from repro.analysis.linter import DEFAULT_RULES, lint_paths, lint_source
+from repro.analysis.runtime import (
+    ContractChecker,
+    contracts_enabled,
+    resolve_contracts,
+)
+
+__all__ = [
+    "RULES",
+    "Rule",
+    "Finding",
+    "render_text",
+    "render_json",
+    "DEFAULT_RULES",
+    "lint_paths",
+    "lint_source",
+    "ContractChecker",
+    "contracts_enabled",
+    "resolve_contracts",
+]

@@ -1,0 +1,195 @@
+"""Typed lint findings, the rule registry, suppressions, and rendering.
+
+A :class:`Finding` pins one rule violation to ``path:line:col`` with the
+offending symbol and a fix hint.  Findings are value objects so tests can
+assert on exact ``(rule, line)`` pairs and the CLI can render them as text
+or JSON without reformatting.
+
+Suppression: a violation is silenced by a trailing comment on its line::
+
+    for v in candidates:  # repro-lint: disable=D1
+    x = hash(key)         # repro-lint: disable=all
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+
+@dataclass(frozen=True)
+class Rule:
+    """Metadata for one lint rule family."""
+
+    id: str
+    name: str
+    summary: str
+    hint: str
+
+
+#: registry of every rule the linter can emit, keyed by rule id
+RULES: Dict[str, Rule] = {
+    rule.id: rule
+    for rule in (
+        Rule(
+            id="D1",
+            name="non-deterministic-iteration",
+            summary=(
+                "iteration over an unordered set (or use of hash()/id()/"
+                "unseeded random) where order can leak into results"
+            ),
+            hint=(
+                "wrap the iterable in sorted(...) (by the paper's order ≺ "
+                "where relevant); seed randomness via random.Random(seed)"
+            ),
+        ),
+        Rule(
+            id="B1",
+            name="double-buffer-violation",
+            summary=(
+                "vertex program reaches past the context API (engine/state "
+                "internals, graph mutation), bypassing the double buffer "
+                "and the compute-cost meter"
+            ),
+            hint=(
+                "read neighbours only via ctx.neighbor_state / ctx.rank_of "
+                "(ScaleG) or ctx.messages (Pregel); never touch _engine, "
+                "_states, or mutate the graph from compute"
+            ),
+        ),
+        Rule(
+            id="A1",
+            name="activation-discipline",
+            summary=(
+                "ScaleG program sets vertex state but never activates: a "
+                "state change invisible to neighbours breaks fixpoint "
+                "convergence (the engine never auto-activates)"
+            ),
+            hint=(
+                "on state change, call ctx.activate(v) for every neighbour "
+                "the change can influence (cf. Lemmas 5.1/5.2 for the "
+                "+LR/+SS filters)"
+            ),
+        ),
+        Rule(
+            id="S1",
+            name="sync-hygiene",
+            summary=(
+                "in-place mutation of the (aliased) vertex state object: "
+                "mutable state shared across supersteps must be copied "
+                "before modification, then republished via ctx.set_state"
+            ),
+            hint=(
+                "copy first (e.g. new = dict(ctx.state)), mutate the copy, "
+                "then ctx.set_state(new)"
+            ),
+        ),
+        Rule(
+            id="E0",
+            name="parse-error",
+            summary="file could not be parsed as Python",
+            hint="fix the syntax error before linting",
+        ),
+    )
+}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a concrete source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    symbol: str
+    message: str
+    hint: str = field(default="")
+
+    @property
+    def sort_key(self):
+        return (self.path, self.line, self.col, self.rule)
+
+    def to_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+    def format(self) -> str:
+        hint = f"  [fix: {self.hint}]" if self.hint else ""
+        return (
+            f"{self.path}:{self.line}:{self.col}: {self.rule} "
+            f"({RULES[self.rule].name}) {self.message}{hint}"
+        )
+
+
+def make_finding(rule: str, path: str, node, symbol: str, message: str) -> Finding:
+    """Build a finding from an AST node, inheriting the rule's fix hint."""
+    return Finding(
+        rule=rule,
+        path=path,
+        line=getattr(node, "lineno", 0),
+        col=getattr(node, "col_offset", 0) + 1,
+        symbol=symbol,
+        message=message,
+        hint=RULES[rule].hint,
+    )
+
+
+# ---------------------------------------------------------------------------
+# suppressions
+# ---------------------------------------------------------------------------
+_SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9,\s]+)")
+
+
+def parse_suppressions(source: str) -> Dict[int, Optional[Set[str]]]:
+    """Map line number -> suppressed rule ids (``None`` means all rules)."""
+    suppressed: Dict[int, Optional[Set[str]]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(text)
+        if not match:
+            continue
+        rules = {tok.strip().upper() for tok in match.group(1).split(",") if tok.strip()}
+        suppressed[lineno] = None if "ALL" in rules else rules
+    return suppressed
+
+
+def apply_suppressions(
+    findings: Sequence[Finding], suppressed: Dict[int, Optional[Set[str]]]
+) -> List[Finding]:
+    """Drop findings whose line carries a matching disable comment."""
+    kept: List[Finding] = []
+    for finding in findings:
+        rules = suppressed.get(finding.line, ())
+        if rules is None or finding.rule in rules:
+            continue
+        kept.append(finding)
+    return kept
+
+
+# ---------------------------------------------------------------------------
+# rendering
+# ---------------------------------------------------------------------------
+def render_text(findings: Sequence[Finding]) -> str:
+    """Human-readable report, one line per finding plus a summary."""
+    lines = [finding.format() for finding in findings]
+    if findings:
+        per_rule: Dict[str, int] = {}
+        for finding in findings:
+            per_rule[finding.rule] = per_rule.get(finding.rule, 0) + 1
+        breakdown = ", ".join(f"{r}={n}" for r, n in sorted(per_rule.items()))
+        lines.append(f"{len(findings)} finding(s) ({breakdown})")
+    else:
+        lines.append("no findings")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    """Machine-readable report (stable field names, sorted input order)."""
+    return json.dumps(
+        {
+            "findings": [finding.to_dict() for finding in findings],
+            "count": len(findings),
+        },
+        indent=2,
+    )

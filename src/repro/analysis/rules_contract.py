@@ -1,0 +1,334 @@
+"""Rule families B1 / A1 / S1 — the BSP vertex-program contract.
+
+These rules apply to vertex-program classes: any class whose bases name
+``PregelProgram``/``ScaleGProgram`` (directly or via an intermediate
+``*Program`` subclass).  The engine kind is inferred from base names or the
+``compute`` context annotation (``ScaleGContext`` vs ``PregelContext``).
+
+- **B1 (double-buffer violations)** — a program must read neighbour state
+  only through the context (``ctx.neighbor_state``/``ctx.rank_of`` on
+  ScaleG, ``ctx.messages`` on Pregel) and must never mutate the graph or
+  reach into engine internals.  Reaching through (``ctx._engine``,
+  ``ctx._states``, ``dgraph._adj``) both breaks the double buffer (reads
+  can observe same-superstep writes) and silently evades the compute-cost
+  meter the experiments bill against.
+- **A1 (activation discipline)** — on the ScaleG engine a vertex runs only
+  when something activated it; a program whose methods call ``set_state``
+  but never ``activate`` can change state invisibly, which breaks fixpoint
+  convergence (the re-evaluation cascade of Algorithm 2 never starts).
+  Pregel programs are exempt: message delivery auto-activates recipients,
+  so one-shot programs that only set state are legitimate there.
+- **S1 (sync hygiene)** — mutable state objects are shared across
+  supersteps (and, on ScaleG, with guest copies until the next sync), so a
+  program must copy before mutating and republish via ``ctx.set_state``.
+  In-place mutation of ``ctx.state`` (or any alias of it) corrupts the
+  previous superstep's buffer for every concurrent reader.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set
+
+from repro.analysis.findings import Finding, make_finding
+
+#: base-class names that mark a vertex program exactly
+_PROGRAM_BASES = {"PregelProgram", "ScaleGProgram"}
+
+#: method calls that mutate the graph topology
+_GRAPH_MUTATORS = {"add_edge", "remove_edge", "add_vertex", "remove_vertex"}
+
+#: method calls that mutate a container in place
+_CONTAINER_MUTATORS = {
+    "append", "extend", "insert", "add", "update", "setdefault", "pop",
+    "popitem", "remove", "discard", "clear", "sort", "reverse",
+}
+
+#: methods a changed vertex uses to make its change visible
+_ACTIVATION_CALLS = {"activate", "send", "broadcast"}
+
+
+def _base_names(node: ast.ClassDef) -> List[str]:
+    names: List[str] = []
+    for base in node.bases:
+        if isinstance(base, ast.Name):
+            names.append(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.append(base.attr)
+    return names
+
+
+@dataclass
+class ProgramClass:
+    """A vertex-program class discovered in a module."""
+
+    node: ast.ClassDef
+    kind: str  # "scaleg" | "pregel" | "unknown"
+
+
+def discover_program_classes(tree: ast.AST) -> List[ProgramClass]:
+    """Find vertex-program classes and classify their engine kind."""
+    programs: List[ProgramClass] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        bases = _base_names(node)
+        if not any(b in _PROGRAM_BASES or b.endswith("Program") for b in bases):
+            continue
+        kind = "unknown"
+        joined = " ".join(bases)
+        if "ScaleG" in joined:
+            kind = "scaleg"
+        elif "Pregel" in joined:
+            kind = "pregel"
+        else:
+            annotation = _compute_ctx_annotation(node)
+            if annotation and "ScaleG" in annotation:
+                kind = "scaleg"
+            elif annotation and "Pregel" in annotation:
+                kind = "pregel"
+        programs.append(ProgramClass(node=node, kind=kind))
+    return programs
+
+
+def _compute_ctx_annotation(node: ast.ClassDef) -> Optional[str]:
+    for item in node.body:
+        if isinstance(item, ast.FunctionDef) and item.name == "compute":
+            params = item.args.args
+            if len(params) >= 2 and params[1].annotation is not None:
+                return ast.dump(params[1].annotation)
+    return None
+
+
+def _ctx_param_name(func: ast.FunctionDef) -> Optional[str]:
+    """The context parameter of a program method, if any."""
+    for arg in func.args.args[1:]:  # skip self
+        annotation = arg.annotation
+        if annotation is not None and "Context" in ast.dump(annotation):
+            return arg.arg
+        if arg.arg == "ctx":
+            return arg.arg
+    return None
+
+
+# ---------------------------------------------------------------------------
+# B1 — double-buffer violations
+# ---------------------------------------------------------------------------
+def _check_b1(program: ProgramClass, path: str) -> List[Finding]:
+    findings: List[Finding] = []
+    for node in ast.walk(program.node):
+        if isinstance(node, ast.Attribute):
+            attr = node.attr
+            if (
+                attr.startswith("_")
+                and not attr.startswith("__")
+                and not (isinstance(node.value, ast.Name) and node.value.id in ("self", "cls"))
+            ):
+                findings.append(
+                    make_finding(
+                        "B1",
+                        path,
+                        node,
+                        attr,
+                        f"reach-through to private '{attr}' bypasses the "
+                        "context API (double buffer + compute-cost meter)",
+                    )
+                )
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            attr = node.func.attr
+            if attr in _GRAPH_MUTATORS:
+                findings.append(
+                    make_finding(
+                        "B1",
+                        path,
+                        node,
+                        attr,
+                        f"vertex program calls graph mutator '{attr}' — "
+                        "topology changes belong to the update path, not "
+                        "compute",
+                    )
+                )
+            elif attr in ("add", "update", "discard", "remove", "clear"):
+                # mutating the live neighbour view returned by neighbors()
+                receiver = node.func.value
+                if (
+                    isinstance(receiver, ast.Call)
+                    and isinstance(receiver.func, ast.Attribute)
+                    and receiver.func.attr == "neighbors"
+                ):
+                    findings.append(
+                        make_finding(
+                            "B1",
+                            path,
+                            node,
+                            f"neighbors().{attr}",
+                            "mutates the live neighbour view returned by "
+                            "neighbors()",
+                        )
+                    )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# A1 — activation discipline (ScaleG only)
+# ---------------------------------------------------------------------------
+def _check_a1(program: ProgramClass, path: str) -> List[Finding]:
+    if program.kind != "scaleg":
+        return []
+    set_state_calls: List[ast.Call] = []
+    has_activation = False
+    for node in ast.walk(program.node):
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr == "set_state":
+                set_state_calls.append(node)
+            elif node.func.attr in _ACTIVATION_CALLS:
+                has_activation = True
+    if set_state_calls and not has_activation:
+        first = min(set_state_calls, key=lambda n: (n.lineno, n.col_offset))
+        return [
+            make_finding(
+                "A1",
+                path,
+                first,
+                program.node.name,
+                f"'{program.node.name}' sets vertex state but never calls "
+                "ctx.activate — on ScaleG the change is invisible to "
+                "neighbours and convergence breaks",
+            )
+        ]
+    return []
+
+
+# ---------------------------------------------------------------------------
+# S1 — sync hygiene (no in-place mutation of shared state)
+# ---------------------------------------------------------------------------
+def _is_state_expr(node, ctx_name: str) -> bool:
+    return (
+        isinstance(node, ast.Attribute)
+        and node.attr == "state"
+        and isinstance(node.value, ast.Name)
+        and node.value.id == ctx_name
+    )
+
+
+def _collect_state_aliases(func: ast.FunctionDef, ctx_name: str) -> Set[str]:
+    """Names provably aliasing ``ctx.state`` (or a mutable part of it).
+
+    ``x = ctx.state`` and ``y = x["nbr"]`` alias; wrapping the right-hand
+    side in any call (``dict(...)``, ``copy.deepcopy(...)``, ``sorted(...)``)
+    copies, so the target is not an alias.  Names rebound to non-aliases
+    anywhere in the method are excluded (order-free, conservative).
+    """
+
+    def is_alias_expr(node, aliases: Set[str]) -> bool:
+        if _is_state_expr(node, ctx_name):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in aliases
+        if isinstance(node, (ast.Subscript, ast.Attribute)):
+            return is_alias_expr(node.value, aliases)
+        return False
+
+    evidence: Set[str] = set()
+    tainted: Set[str] = set()
+    for _ in range(2):
+        for stmt in ast.walk(func):
+            targets: Sequence = ()
+            value = None
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            for target in targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                if is_alias_expr(value, evidence):
+                    evidence.add(target.id)
+                else:
+                    tainted.add(target.id)
+    return evidence - tainted
+
+
+def _check_s1(program: ProgramClass, path: str) -> List[Finding]:
+    findings: List[Finding] = []
+    for item in program.node.body:
+        if not isinstance(item, ast.FunctionDef):
+            continue
+        ctx_name = _ctx_param_name(item)
+        if ctx_name is None:
+            continue
+        aliases = _collect_state_aliases(item, ctx_name)
+
+        def is_shared(node) -> bool:
+            if _is_state_expr(node, ctx_name):
+                return True
+            if isinstance(node, ast.Name):
+                return node.id in aliases
+            if isinstance(node, (ast.Subscript, ast.Attribute)):
+                return is_shared(node.value)
+            return False
+
+        for node in ast.walk(item):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _CONTAINER_MUTATORS
+                and is_shared(node.func.value)
+            ):
+                findings.append(
+                    make_finding(
+                        "S1",
+                        path,
+                        node,
+                        node.func.attr,
+                        f"in-place '{node.func.attr}' on (an alias of) "
+                        "ctx.state mutates the shared previous-superstep "
+                        "buffer",
+                    )
+                )
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                for target in targets:
+                    if isinstance(target, ast.Subscript) and is_shared(target.value):
+                        findings.append(
+                            make_finding(
+                                "S1",
+                                path,
+                                node,
+                                "subscript-store",
+                                "subscript assignment into (an alias of) "
+                                "ctx.state mutates the shared "
+                                "previous-superstep buffer",
+                            )
+                        )
+            elif isinstance(node, ast.Delete):
+                for target in node.targets:
+                    if isinstance(target, ast.Subscript) and is_shared(target.value):
+                        findings.append(
+                            make_finding(
+                                "S1",
+                                path,
+                                node,
+                                "del",
+                                "deletion from (an alias of) ctx.state "
+                                "mutates the shared previous-superstep "
+                                "buffer",
+                            )
+                        )
+    return findings
+
+
+def check_contracts(
+    tree: ast.AST, path: str, rules: Set[str]
+) -> List[Finding]:
+    """Run the enabled B1/A1/S1 rules over one parsed module."""
+    findings: List[Finding] = []
+    for program in discover_program_classes(tree):
+        if "B1" in rules:
+            findings.extend(_check_b1(program, path))
+        if "A1" in rules:
+            findings.extend(_check_a1(program, path))
+        if "S1" in rules:
+            findings.extend(_check_s1(program, path))
+    return findings

@@ -1,0 +1,170 @@
+"""Opt-in runtime contract checking for the BSP engines.
+
+The static rules catch discipline violations the AST can prove; this module
+catches the rest at runtime.  A :class:`ContractChecker`, when attached to
+an engine run, asserts:
+
+- **double-buffer isolation** (per superstep): between the start of a
+  superstep and its barrier, no state in the read set (active vertices plus,
+  on ScaleG, their neighbours) may change.  All writes must go through
+  ``ctx.set_state`` and land only when the engine applies the barrier
+  update.  A violation means a program mutated shared state in place or
+  wrote engine internals directly — the exact failure mode the B1/S1 lint
+  rules guard against, now caught even when it hides behind dynamic code.
+- **convergence invariants** (per run): if the program computes an
+  independent set (:meth:`contract_members` returns members), the reported
+  set must be independent and maximal on the current graph — the paper's
+  Theorems 4.1/6.1 made executable.
+
+Enabling: pass ``contracts=True`` (or a :class:`ContractChecker`) to an
+engine constructor, or set ``REPRO_CONTRACTS=1`` in the environment to turn
+checking on process-wide.  The checker is designed to stay well under 2x
+run time: snapshots are value-level only for the touched read set, and the
+convergence sweep is a single O(n + m) pass per run.
+
+Violations raise :class:`repro.errors.ContractViolation` with superstep and
+vertex context.
+"""
+
+from __future__ import annotations
+
+import copy
+import os
+from enum import Enum
+from typing import Any, Dict, Iterable, Optional, Set, Union
+
+from repro.errors import ContractViolation
+
+#: state types whose snapshot can be the value itself
+_IMMUTABLE_TYPES = (bool, int, float, str, bytes, frozenset, type(None), Enum)
+
+_ENV_FLAG = "REPRO_CONTRACTS"
+_TRUTHY = {"1", "true", "yes", "on"}
+
+#: sentinel distinguishing "vertex disappeared" from any real state
+_MISSING = object()
+
+
+def contracts_enabled(environ: Optional[Dict[str, str]] = None) -> bool:
+    """Whether the ``REPRO_CONTRACTS`` environment flag turns checking on."""
+    env = os.environ if environ is None else environ
+    return env.get(_ENV_FLAG, "").strip().lower() in _TRUTHY
+
+
+def resolve_contracts(
+    contracts: Union[None, bool, "ContractChecker"],
+) -> Optional["ContractChecker"]:
+    """Normalize an engine's ``contracts`` argument to a checker or None.
+
+    ``None`` defers to the ``REPRO_CONTRACTS`` environment flag; ``True``
+    creates a default checker; ``False`` disables checking regardless of the
+    environment; a :class:`ContractChecker` instance is used as-is.
+    """
+    if contracts is None:
+        return ContractChecker() if contracts_enabled() else None
+    if contracts is True:
+        return ContractChecker()
+    if contracts is False:
+        return None
+    return contracts
+
+
+def _snapshot(state: Any) -> Any:
+    if isinstance(state, _IMMUTABLE_TYPES):
+        return state
+    if isinstance(state, tuple):
+        return state if all(isinstance(x, _IMMUTABLE_TYPES) for x in state) else copy.deepcopy(state)
+    return copy.deepcopy(state)
+
+
+class ContractChecker:
+    """Asserts BSP invariants at superstep barriers and at convergence.
+
+    One checker may be shared across runs and engines; it keeps counters
+    (:attr:`supersteps_checked`, :attr:`runs_checked`) so tests can assert
+    it actually ran.
+    """
+
+    def __init__(
+        self, check_isolation: bool = True, check_convergence: bool = True
+    ):
+        self.check_isolation = check_isolation
+        self.check_convergence = check_convergence
+        self.supersteps_checked = 0
+        self.runs_checked = 0
+        self._snap: Dict[int, Any] = {}
+
+    # -- double-buffer isolation ----------------------------------------
+    def begin_superstep(
+        self, superstep: int, read_set: Iterable[int], states: Dict[int, Any]
+    ) -> None:
+        """Snapshot the states every compute of this superstep may read."""
+        if not self.check_isolation:
+            return
+        self._snap = {
+            u: _snapshot(states[u]) for u in read_set if u in states
+        }
+
+    def at_barrier(self, superstep: int, states: Dict[int, Any]) -> None:
+        """Called at the barrier *before* buffered writes are applied."""
+        if not self.check_isolation:
+            return
+        for u, before in self._snap.items():
+            current = states.get(u, _MISSING)
+            if current is _MISSING or current != before:
+                raise ContractViolation(
+                    contract="double-buffer",
+                    detail=(
+                        f"state of vertex {u} changed mid-superstep "
+                        f"({before!r} -> "
+                        f"{'<removed>' if current is _MISSING else repr(current)}); "
+                        "writes must go through ctx.set_state and land at "
+                        "the barrier"
+                    ),
+                    superstep=superstep,
+                    vertex=u,
+                )
+        self._snap = {}
+        self.supersteps_checked += 1
+
+    # -- convergence invariants -----------------------------------------
+    def at_convergence(self, graph, members: Iterable[int]) -> None:
+        """Assert independence + maximality of the program's reported set.
+
+        ``graph`` is the engine's :class:`~repro.graph.dynamic_graph.DynamicGraph`;
+        ``members`` the set reported by ``contract_members``.  One O(n + m)
+        sweep; raises on the first offending vertex/edge.
+        """
+        if not self.check_convergence:
+            return
+        member_set: Set[int] = set(members)
+        for u in sorted(member_set):
+            if not graph.has_vertex(u):
+                raise ContractViolation(
+                    contract="independence",
+                    detail=f"reported member {u} is not a vertex of the graph",
+                    vertex=u,
+                )
+            for v in graph.neighbors(u):
+                if v in member_set:
+                    raise ContractViolation(
+                        contract="independence",
+                        detail=(
+                            f"reported set contains adjacent vertices "
+                            f"{min(u, v)} and {max(u, v)}"
+                        ),
+                        vertex=u,
+                    )
+        for u in graph.sorted_vertices():
+            if u in member_set:
+                continue
+            if not any(v in member_set for v in graph.neighbors(u)):
+                raise ContractViolation(
+                    contract="maximality",
+                    detail=(
+                        f"vertex {u} has no neighbour in the reported set "
+                        "and could be added — the set is not maximal"
+                    ),
+                    vertex=u,
+                )
+        self.runs_checked += 1

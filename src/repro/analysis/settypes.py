@@ -1,0 +1,126 @@
+"""Lightweight set-type inference for the determinism rules.
+
+The D1 rule needs to know whether the iterable of a ``for`` loop (or
+comprehension) is an *unordered* container — a ``set``/``frozenset`` —
+because Python's set iteration order depends on insertion history and hash
+table internals, which is exactly the order-dependence the paper's proofs
+exclude.  Full type inference is out of scope; this module implements a
+deliberately conservative single-pass, function-local analysis:
+
+- literal sets, set comprehensions, ``set(...)``/``frozenset(...)`` calls;
+- set operators (``|``, ``&``, ``-``, ``^``) and set methods
+  (``union``/``intersection``/``difference``/``symmetric_difference``) when
+  an operand is already known to be a set;
+- calls to well-known set-returning APIs in this codebase
+  (``*.neighbors(...)``, ``*.touched_vertices()``, ``affected_vertices(...)``);
+- names whose assignment or annotation (``Set[...]``, ``set``,
+  ``FrozenSet[...]``) proves set-ness, tracked in statement order.
+
+Anything unprovable is assumed ordered — the linter prefers missed findings
+over noise.  ``sorted(...)`` always yields a list, so wrapping an iterable
+in ``sorted`` is both the fix and what makes the analysis pass.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Set
+
+#: methods on arbitrary receivers that return sets in this codebase
+SET_RETURNING_METHODS = {"neighbors", "touched_vertices"}
+
+#: free functions that return sets in this codebase
+SET_RETURNING_FUNCTIONS = {"affected_vertices", "independent_set_from_states"}
+
+#: set methods producing new sets (receiver must already be a known set)
+_SET_COMBINATORS = {"union", "intersection", "difference", "symmetric_difference", "copy"}
+
+_SET_ANNOTATIONS = {"set", "Set", "frozenset", "FrozenSet", "MutableSet", "AbstractSet"}
+
+
+def _annotation_is_set(annotation) -> bool:
+    if annotation is None:
+        return False
+    if isinstance(annotation, ast.Name):
+        return annotation.id in _SET_ANNOTATIONS
+    if isinstance(annotation, ast.Attribute):
+        return annotation.attr in _SET_ANNOTATIONS
+    if isinstance(annotation, ast.Subscript):  # Set[int], typing.Set[int]
+        return _annotation_is_set(annotation.value)
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        head = annotation.value.split("[", 1)[0].strip()
+        return head.rsplit(".", 1)[-1] in _SET_ANNOTATIONS
+    return False
+
+
+def expression_is_set(node, known: Set[str]) -> bool:
+    """Whether ``node`` provably evaluates to a set/frozenset.
+
+    ``known`` holds local names already proven to be sets.
+    """
+    if isinstance(node, ast.Set) or isinstance(node, ast.SetComp):
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in known
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        return expression_is_set(node.left, known) or expression_is_set(
+            node.right, known
+        )
+    if isinstance(node, ast.IfExp):
+        return expression_is_set(node.body, known) and expression_is_set(
+            node.orelse, known
+        )
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id in ("set", "frozenset"):
+                return True
+            if func.id in SET_RETURNING_FUNCTIONS:
+                return True
+            return False
+        if isinstance(func, ast.Attribute):
+            if func.attr in SET_RETURNING_METHODS:
+                return True
+            if func.attr in _SET_COMBINATORS:
+                return expression_is_set(func.value, known)
+            return False
+    return False
+
+
+class SetNameCollector:
+    """Assignment-order-free analysis of set-typed names in one function.
+
+    A name is treated as a set iff at least one assignment (or annotation)
+    proves set-ness AND no assignment anywhere in the function binds it to a
+    non-set expression — conservative in both directions, so the result does
+    not depend on statement traversal order.
+    """
+
+    def __init__(self, func: ast.AST):
+        evidence: Set[str] = set()
+        tainted: Set[str] = set()
+        args = getattr(func, "args", None)
+        if args is not None:
+            for arg in list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs):
+                if _annotation_is_set(arg.annotation):
+                    evidence.add(arg.arg)
+        # two passes: names first (so evidence sees annotated/param sets),
+        # then expression-based evidence that may chain through those names
+        for _ in range(2):
+            for stmt in ast.walk(func):
+                if isinstance(stmt, ast.Assign):
+                    is_set = expression_is_set(stmt.value, evidence)
+                    for target in stmt.targets:
+                        if isinstance(target, ast.Name):
+                            (evidence if is_set else tainted).add(target.id)
+                elif isinstance(stmt, ast.AnnAssign) and isinstance(
+                    stmt.target, ast.Name
+                ):
+                    if _annotation_is_set(stmt.annotation) or (
+                        stmt.value is not None
+                        and expression_is_set(stmt.value, evidence)
+                    ):
+                        evidence.add(stmt.target.id)
+        self.known: Set[str] = evidence - tainted

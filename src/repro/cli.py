@@ -12,6 +12,10 @@ Subcommands
                workload for it.
 ``datasets``   list the 16 paper-dataset stand-ins.
 ``bench``      run one experiment driver (table2..fig13) and print its table.
+``lint``       statically check vertex programs for BSP discipline
+               violations (non-deterministic iteration, double-buffer
+               breaches, activation discipline, sync hygiene); exits
+               non-zero when findings remain.
 
 Examples
 --------
@@ -21,6 +25,7 @@ Examples
     repro-mis compute graph.txt --algorithm dismis --workers 8
     repro-mis maintain graph.txt.updates --graph graph.txt --batch-size 50 --verify
     repro-mis bench table2
+    repro-mis lint src/repro --format json
 """
 
 from __future__ import annotations
@@ -151,6 +156,28 @@ def _cmd_datasets(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.analysis import lint_paths, render_json, render_text
+
+    rules = None
+    if args.rules:
+        rules = [r for chunk in args.rules for r in chunk.split(",")]
+    paths = args.paths or ["src/repro" if os.path.isdir("src/repro") else "."]
+    try:
+        findings = lint_paths(paths, rules=rules)
+    except ValueError as exc:  # unknown rule id
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    render = render_json if args.format == "json" else render_text
+    print(render(findings))
+    return 1 if findings else 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench import harness
     from repro.bench.reporting import format_table
@@ -225,6 +252,20 @@ def build_parser() -> argparse.ArgumentParser:
         "table2", "table3", "table4", "fig10", "fig11", "fig12", "fig13"))
     bench.add_argument("--k", type=int, default=100)
     bench.set_defaults(fn=_cmd_bench)
+
+    lint = sub.add_parser(
+        "lint", help="statically check vertex programs for BSP discipline"
+    )
+    lint.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: src/repro)",
+    )
+    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument(
+        "--rules", action="append", default=[], metavar="IDS",
+        help="comma-separated rule ids to enable (default: all of D1,B1,A1,S1)",
+    )
+    lint.set_defaults(fn=_cmd_lint)
 
     return parser
 

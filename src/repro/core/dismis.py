@@ -110,6 +110,9 @@ class DisMISProgram(ScaleGProgram):
     def state_bytes(self, state: Status) -> int:
         return STATUS_BYTES + DEGREE_BYTES
 
+    def contract_members(self, states: Dict[int, Status]) -> Set[int]:
+        return {u for u, s in states.items() if s == Status.IN}
+
 
 class DisMISPregelProgram(PregelProgram):
     """Algorithm 1 on the classic message-passing engine.
@@ -187,6 +190,9 @@ class DisMISPregelProgram(PregelProgram):
         return (STATUS_BYTES + DEGREE_BYTES) + len(state["nbr"]) * (
             VERTEX_ID_BYTES + DEGREE_BYTES + STATUS_BYTES
         )
+
+    def contract_members(self, states: Dict[int, Dict[str, Any]]) -> Set[int]:
+        return {u for u, s in states.items() if s["status"] == Status.IN}
 
 
 class DisMISRun:

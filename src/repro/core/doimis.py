@@ -200,8 +200,9 @@ class DOIMISMaintainer:
             touched.add(op.u)
             touched.add(op.v)
         # edge insertions may introduce brand-new vertices: they join with
-        # in = true, exactly like Section VI's vertex insertion
-        for u in touched:
+        # in = true, exactly like Section VI's vertex insertion (sorted so
+        # the state dict's insertion order never depends on set hashing)
+        for u in sorted(touched):
             if u not in self._states and self._dgraph.has_vertex(u):
                 self._states[u] = True
 

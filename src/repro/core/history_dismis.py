@@ -122,14 +122,14 @@ class HistoryDisMIS:
                     for v in graph.neighbors(u)
                 )
             }
-            for u in selected:
+            for u in sorted(selected):
                 exit_record[u] = (round_no, Status.IN)
             killed = {
                 u
                 for u in unknown - selected
                 if any(v in selected for v in graph.neighbors(u))
             }
-            for u in killed:
+            for u in sorted(killed):
                 exit_record[u] = (round_no, Status.NOTIN)
             metrics.active_vertices += len(unknown)
             metrics.compute_work += sum(graph.degree(u) for u in unknown)
@@ -168,7 +168,7 @@ class HistoryDisMIS:
                 raise WorkloadError(f"unsupported operation {op!r}")
             touched.add(op.u)
             touched.add(op.v)
-        for u in touched:
+        for u in sorted(touched):
             if graph.has_vertex(u) and u not in self._exit:
                 self._exit[u] = (_NEVER, Status.UNKNOWN)  # brand-new vertex
         self._replay(affected_vertices(graph, touched), self.update_metrics)

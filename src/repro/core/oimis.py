@@ -82,6 +82,9 @@ class OIMISProgram(ScaleGProgram):
     def state_bytes(self, state: bool) -> int:
         return STATUS_BYTES
 
+    def contract_members(self, states: Dict[int, bool]) -> Set[int]:
+        return independent_set_from_states(states)
+
 
 class OIMISPregelProgram(PregelProgram):
     """Message-passing OIMIS for cross-engine validation (static graphs).
@@ -124,6 +127,9 @@ class OIMISPregelProgram(PregelProgram):
         return STATUS_BYTES + len(state["nbr"]) * (
             VERTEX_ID_BYTES + DEGREE_BYTES + STATUS_BYTES
         )
+
+    def contract_members(self, states: Dict[int, Dict[str, Any]]) -> Set[int]:
+        return {u for u, s in states.items() if s["in"]}
 
 
 def independent_set_from_states(states: Dict[int, bool]) -> Set[int]:

@@ -39,7 +39,7 @@ def degree_order(graph: DynamicGraph) -> List[int]:
 def dominating_neighbors(graph: DynamicGraph, u: int) -> List[int]:
     """Neighbours of ``u`` that rank higher than ``u``, in ``≺`` order."""
     my_rank = rank(graph, u)
-    nbrs = [v for v in graph.neighbors(u) if rank(graph, v) < my_rank]
+    nbrs = [v for v in sorted(graph.neighbors(u)) if rank(graph, v) < my_rank]
     nbrs.sort(key=lambda v: (graph.degree(v), v))
     return nbrs
 
@@ -47,6 +47,6 @@ def dominating_neighbors(graph: DynamicGraph, u: int) -> List[int]:
 def dominated_neighbors(graph: DynamicGraph, u: int) -> List[int]:
     """Neighbours of ``u`` that rank lower than ``u``, in ``≺`` order."""
     my_rank = rank(graph, u)
-    nbrs = [v for v in graph.neighbors(u) if rank(graph, v) > my_rank]
+    nbrs = [v for v in sorted(graph.neighbors(u)) if rank(graph, v) > my_rank]
     nbrs.sort(key=lambda v: (graph.degree(v), v))
     return nbrs

@@ -119,11 +119,14 @@ class WeightedOIMISProgram(OIMISProgram):
         )
         self.weights = weights
 
+    def _degree_of(self, ctx: ScaleGContext, x: int) -> int:
+        """Degree of ``x`` through the context (own record or guest copy)."""
+        return ctx.degree() if x == ctx.vertex else ctx.rank_of(x)[0]
+
     def _precedes(self, ctx: ScaleGContext, v: int, u: int) -> bool:
         """``v ≺_w u`` using guest-local degree + weight records."""
-        graph = ctx._engine.dgraph
-        left = self.weights[v] * (graph.degree(u) + 1)
-        right = self.weights[u] * (graph.degree(v) + 1)
+        left = self.weights[v] * (self._degree_of(ctx, u) + 1)
+        right = self.weights[u] * (self._degree_of(ctx, v) + 1)
         if left != right:
             return left > right
         if self.weights[v] != self.weights[u]:

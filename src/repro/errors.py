@@ -68,6 +68,35 @@ class PartitionError(EngineError):
     """Raised when a partitioner produces an invalid worker assignment."""
 
 
+class ContractViolation(EngineError):
+    """Raised by the runtime contract checker when a BSP invariant breaks.
+
+    ``contract`` names the violated invariant (``"double-buffer"``,
+    ``"independence"``, ``"maximality"``); ``superstep`` and ``vertex``
+    localize the violation when known.  See
+    :mod:`repro.analysis.runtime` for what each contract asserts.
+    """
+
+    def __init__(
+        self,
+        contract: str,
+        detail: str,
+        superstep: "int | None" = None,
+        vertex: "int | None" = None,
+    ):
+        where = []
+        if superstep is not None:
+            where.append(f"superstep {superstep}")
+        if vertex is not None:
+            where.append(f"vertex {vertex}")
+        suffix = f" ({', '.join(where)})" if where else ""
+        super().__init__(f"{contract} contract violated{suffix}: {detail}")
+        self.contract = contract
+        self.detail = detail
+        self.superstep = superstep
+        self.vertex = vertex
+
+
 class WorkloadError(ReproError):
     """Raised when an update workload cannot be generated as requested."""
 

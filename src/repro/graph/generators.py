@@ -81,7 +81,9 @@ def barabasi_albert(n: int, attach: int, seed: int = 0) -> DynamicGraph:
         targets: Set[int] = set()
         while len(targets) < attach:
             targets.add(endpoints[rng.randrange(len(endpoints))])
-        for v in targets:
+        # sorted: the endpoints list feeds the RNG-indexed attachment, so
+        # its order must not depend on set iteration
+        for v in sorted(targets):
             graph.add_edge(u, v)
             endpoints.extend((u, v))
     return graph

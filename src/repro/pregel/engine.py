@@ -59,6 +59,16 @@ class PregelProgram(ABC):
         """Optional message combiner applied per (worker, destination)."""
         return None
 
+    def contract_members(self, states: Dict[int, Any]) -> Optional[Set[int]]:
+        """Members of the independent set this program maintains, or ``None``.
+
+        Programs that compute an independent set override this so the
+        runtime contract checker (:mod:`repro.analysis.runtime`) can assert
+        independence + maximality at convergence; ``None`` (the default)
+        skips the convergence contract.
+        """
+        return None
+
 
 class PregelContext:
     """Per-vertex view handed to :meth:`PregelProgram.compute`."""
@@ -111,8 +121,10 @@ class PregelContext:
         )
 
     def broadcast(self, payload: Any, payload_bytes: int) -> None:
-        """Send the same message to every neighbour."""
-        for v in self.neighbors():
+        """Send the same message to every neighbour (in id order, so the
+        outbox — and everything downstream of it: combiner grouping, inbox
+        payload order — is independent of set-iteration order)."""
+        for v in sorted(self.neighbors()):
             self.send(v, payload, payload_bytes)
 
     # -- bookkeeping ---------------------------------------------------
@@ -141,10 +153,16 @@ class PregelResult:
 class PregelEngine:
     """Executes a :class:`PregelProgram` over a :class:`DistributedGraph`."""
 
-    def __init__(self, dgraph: "DistributedGraph"):
+    def __init__(self, dgraph: "DistributedGraph", contracts=None):
+        """``contracts``: ``None`` defers to the ``REPRO_CONTRACTS`` env
+        flag, ``True``/``False`` force runtime contract checking on/off, or
+        pass a :class:`~repro.analysis.runtime.ContractChecker` directly."""
+        from repro.analysis.runtime import resolve_contracts
+
         self.dgraph = dgraph
         self._outbox: List[Message] = []
         self._aggregators = AggregatorRegistry()
+        self._contracts = resolve_contracts(contracts)
 
     def run(
         self,
@@ -193,6 +211,9 @@ class PregelEngine:
             self._outbox = []
             new_states: Dict[int, Any] = {}
 
+            if self._contracts is not None:
+                self._contracts.begin_superstep(superstep, active, states)
+
             for u in active:
                 ctx = PregelContext(
                     self, u, superstep, inbox.get(u, []), states[u]
@@ -205,6 +226,8 @@ class PregelEngine:
                     new_states[u] = ctx._new_state
                     record.state_changes += 1
 
+            if self._contracts is not None:
+                self._contracts.at_barrier(superstep, states)
             states.update(new_states)
 
             # --- deliver messages (with combining, cost accounting) ----
@@ -232,6 +255,11 @@ class PregelEngine:
             if superstep == 1 or queue_bytes:
                 per_worker = self._memory_snapshot(program, states, inbox)
                 metrics.observe_memory(per_worker)
+
+        if self._contracts is not None:
+            members = program.contract_members(states)
+            if members is not None:
+                self._contracts.at_convergence(graph, members)
 
         if metrics.peak_worker_memory_bytes == 0:
             metrics.observe_memory(self._memory_snapshot(program, states, {}))

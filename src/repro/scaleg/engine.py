@@ -69,6 +69,16 @@ class ScaleGProgram(ABC):
         """Resident size of ``state`` (memory meter); defaults to sync size."""
         return self.sync_bytes(state)
 
+    def contract_members(self, states: Dict[int, Any]) -> Optional[Set[int]]:
+        """Members of the independent set this program maintains, or ``None``.
+
+        Programs that compute an independent set override this so the
+        runtime contract checker (:mod:`repro.analysis.runtime`) can assert
+        independence + maximality at convergence; ``None`` (the default)
+        skips the convergence contract.
+        """
+        return None
+
 
 class ScaleGContext:
     """Per-vertex view handed to :meth:`ScaleGProgram.compute`."""
@@ -176,9 +186,15 @@ class ScaleGEngine:
     runs, and passes the previous run's states back in.
     """
 
-    def __init__(self, dgraph: "DistributedGraph"):
+    def __init__(self, dgraph: "DistributedGraph", contracts=None):
+        """``contracts``: ``None`` defers to the ``REPRO_CONTRACTS`` env
+        flag, ``True``/``False`` force runtime contract checking on/off, or
+        pass a :class:`~repro.analysis.runtime.ContractChecker` directly."""
+        from repro.analysis.runtime import resolve_contracts
+
         self.dgraph = dgraph
         self._states: Dict[int, Any] = {}
+        self._contracts = resolve_contracts(contracts)
 
     def run(
         self,
@@ -224,6 +240,12 @@ class ScaleGEngine:
             record = SuperstepRecord(superstep=superstep)
             record.worker_work = [0] * self.dgraph.num_workers
 
+            if self._contracts is not None:
+                read_set: Set[int] = set(active)
+                for u in active:
+                    read_set.update(graph.neighbors(u))
+                self._contracts.begin_superstep(superstep, read_set, states)
+
             new_states: Dict[int, Any] = {}
             changed: List[int] = []
             forced: List[int] = []
@@ -243,6 +265,8 @@ class ScaleGEngine:
                 for v, predicate in ctx._activations:
                     activations.append((u, v, predicate))
 
+            if self._contracts is not None:
+                self._contracts.at_barrier(superstep, states)
             states.update(new_states)
 
             # --- charge state sync: once per (synced vertex, guest machine)
@@ -281,6 +305,11 @@ class ScaleGEngine:
             active = sorted(next_active)
             superstep += 1
             ran_supersteps += 1
+
+        if self._contracts is not None:
+            members = program.contract_members(states)
+            if members is not None:
+                self._contracts.at_convergence(graph, members)
 
         per_worker = self._memory_snapshot(program, states)
         own_metrics.observe_memory(per_worker)

@@ -34,7 +34,7 @@ class InvertedActivationIndex:
         for v in graph.vertices():
             if dgraph.worker_of(v) != worker:
                 continue
-            for u in graph.neighbors(v):
+            for u in sorted(graph.neighbors(v)):
                 if dgraph.worker_of(u) != worker:
                     self._targets.setdefault(u, []).append(v)
         for u in self._targets:

@@ -100,8 +100,8 @@ def _local_search_to_optimum(solution: _Solution) -> None:
                 solution.insert(y)
         # Re-examine solution vertices around the modification.
         for moved in (u, w):
-            for y in solution.graph.neighbors(moved):
-                for z in solution.graph.neighbors(y):
+            for y in sorted(solution.graph.neighbors(moved)):
+                for z in sorted(solution.graph.neighbors(y)):
                     if z in solution.members and z not in queued:
                         queue.append(z)
                         queued.add(z)

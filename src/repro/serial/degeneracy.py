@@ -49,7 +49,8 @@ def degeneracy_order(graph: DynamicGraph) -> List[int]:
             continue  # stale entry
         removed.add(u)
         order.append(u)
-        for v in graph.neighbors(u):
+        # push order is irrelevant: the heap pops by total (degree, id) order
+        for v in graph.neighbors(u):  # repro-lint: disable=D1
             if v not in removed:
                 degrees[v] -= 1
                 heapq.heappush(heap, (degrees[v], v))
@@ -69,7 +70,8 @@ def degeneracy(graph: DynamicGraph) -> int:
             continue
         best = max(best, d)
         removed.add(u)
-        for v in graph.neighbors(u):
+        # push order is irrelevant: the heap pops by total (degree, id) order
+        for v in graph.neighbors(u):  # repro-lint: disable=D1
             if v not in removed:
                 degrees[v] -= 1
                 heapq.heappush(heap, (degrees[v], v))

@@ -76,7 +76,8 @@ class _Search:
                     live.discard(u)
                     changed = progress = True
                 elif degree == 1:
-                    (nbr,) = (v for v in self.graph.neighbors(u) if v in live)
+                    # exactly one live neighbour exists, so order is moot
+                    (nbr,) = (v for v in self.graph.neighbors(u) if v in live)  # repro-lint: disable=D1
                     chosen.add(u)
                     live.discard(u)
                     live.discard(nbr)

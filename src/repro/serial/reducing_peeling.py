@@ -107,7 +107,7 @@ def reducing_peeling_mis(graph: DynamicGraph) -> Set[int]:
             work.remove_vertex(gone)
             pending.discard(gone)
         work.add_vertex(x)
-        for y in outer:
+        for y in sorted(outer):
             if work.has_vertex(y) and not work.has_edge(x, y):
                 work.add_edge(x, y)
         folds.append(_Fold(x, u, a, b))

@@ -57,12 +57,12 @@ class _SwapEngine:
     # -- solution mutation (keeps the tightness index consistent) ---------
     def add_member(self, u: int) -> None:
         self.members.add(u)
-        for v in self.graph.neighbors(u):
+        for v in sorted(self.graph.neighbors(u)):
             self.tight[v] = self.tight.get(v, 0) + 1
 
     def remove_member(self, u: int) -> None:
         self.members.discard(u)
-        for v in self.graph.neighbors(u):
+        for v in sorted(self.graph.neighbors(u)):
             self.tight[v] = self.tight.get(v, 0) - 1
 
     # -- graph mutation hooks ---------------------------------------------
@@ -275,7 +275,7 @@ class DOSwap:
                 for t in touched:
                     if not graph.has_vertex(t):
                         continue
-                    for y in graph.neighbors(t):
+                    for y in sorted(graph.neighbors(t)):
                         if y in engine.members and y not in queued:
                             queue.append(y)
                             queued.add(y)

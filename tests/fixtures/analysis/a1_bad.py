@@ -1,0 +1,19 @@
+"""Fixture: seeded A1 violation (ScaleG state change with no activation)."""
+
+
+class SilentProgram(ScaleGProgram):  # noqa: F821 — AST-only fixture
+    def initial_state(self, dgraph, u):
+        return True
+
+    def compute(self, ctx):
+        ctx.set_state(False)  # line 9: A1 — no activate anywhere
+
+
+class OneShotPregelProgram(PregelProgram):  # noqa: F821
+    """Pregel is exempt: delivery auto-activates, one-shot is fine."""
+
+    def initial_state(self, dgraph, u):
+        return 0
+
+    def compute(self, ctx):
+        ctx.set_state(len(ctx.messages))  # must NOT be flagged

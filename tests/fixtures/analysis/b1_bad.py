@@ -1,0 +1,23 @@
+"""Fixture: seeded B1 violations (double-buffer / context-API breaches)."""
+
+
+class ReachThroughProgram(ScaleGProgram):  # noqa: F821 — AST-only fixture
+    def initial_state(self, dgraph, u):
+        return True
+
+    def compute(self, ctx):
+        engine = ctx._engine  # line 9: B1 — private reach-through
+        ctx.set_state(False)
+        for v in ctx.sorted_neighbors():
+            ctx.activate(v)
+        return engine
+
+
+class TopologyMutatorProgram(PregelProgram):  # noqa: F821
+    def initial_state(self, dgraph, u):
+        return 0
+
+    def compute(self, ctx):
+        graph.add_edge(ctx.vertex, 0)  # line 21: B1 — graph mutator  # noqa: F821
+        ctx.neighbors().add(99)  # line 22: B1 — mutates live view
+        ctx.send(0, 1, 8)

@@ -1,0 +1,34 @@
+"""Fixture: a disciplined vertex program — the linter must stay silent."""
+
+
+class CleanScaleGProgram(ScaleGProgram):  # noqa: F821 — AST-only fixture
+    def initial_state(self, dgraph, u):
+        return True
+
+    def compute(self, ctx):
+        old = ctx.state
+        new_in = True
+        my_rank = (ctx.degree(), ctx.vertex)
+        for v in ctx.sorted_neighbors():
+            ctx.charge(1)
+            if ctx.rank_of(v) < my_rank and ctx.neighbor_state(v):
+                new_in = False
+                break
+        ctx.set_state(new_in)
+        if new_in != old:
+            for v in ctx.sorted_neighbors():
+                ctx.activate(v)
+
+    def sync_bytes(self, state):
+        return 1
+
+
+class CleanPregelProgram(PregelProgram):  # noqa: F821
+    def initial_state(self, dgraph, u):
+        return {"seen": 0}
+
+    def compute(self, ctx):
+        state = dict(ctx.state)
+        state["seen"] = len(ctx.messages)
+        ctx.set_state(state)
+        ctx.broadcast(state["seen"], 8)

@@ -1,0 +1,34 @@
+"""Fixture: seeded D1 violations (non-deterministic iteration).
+
+Never imported — linted as a file by tests/test_analysis_linter.py, which
+asserts the exact (rule, line) pairs below.
+"""
+import random
+
+
+def order_sensitive_loop(graph, u):
+    out = []
+    for v in graph.neighbors(u):  # line 11: D1 — appends depend on order
+        out.append(v)
+    return out
+
+
+def list_from_set(members):
+    pool = set(members)
+    return [x for x in pool]  # line 18: D1 — list comp over a set
+
+
+def hashed_decision(key):
+    return hash(key) % 7  # line 22: D1 — hash() varies per process
+
+
+def unseeded_choice(candidates):
+    return random.choice(candidates)  # line 26: D1 — unseeded randomness
+
+
+def order_free_consumption(graph, u):
+    # none of these may be flagged: order-free consumers / accumulators
+    total = sum(1 for v in graph.neighbors(u))
+    peers = set()
+    peers.update(v for v in graph.neighbors(u))
+    return total, sorted(peers), max(graph.neighbors(u), default=0)

@@ -1,0 +1,27 @@
+"""Fixture: seeded S1 violations (in-place mutation of shared state)."""
+
+
+class MutatingProgram(ScaleGProgram):  # noqa: F821 — AST-only fixture
+    def initial_state(self, dgraph, u):
+        return {"in": True, "nbr": {}}
+
+    def compute(self, ctx):
+        state = ctx.state
+        state["count"] = 1  # line 10: S1 — subscript store into alias
+        cache = state["nbr"]
+        cache.update({1: (2, True)})  # line 12: S1 — mutator on nested alias
+        ctx.state.setdefault("x", 0)  # line 13: S1 — mutator on ctx.state
+        ctx.activate(ctx.vertex)
+
+
+class CopyingProgram(ScaleGProgram):  # noqa: F821
+    """Copy-before-mutate: nothing here may be flagged."""
+
+    def initial_state(self, dgraph, u):
+        return {"in": True, "nbr": {}}
+
+    def compute(self, ctx):
+        state = dict(ctx.state)  # call wraps: a copy, not an alias
+        state["count"] = 1
+        ctx.set_state(state)
+        ctx.activate(ctx.vertex)

@@ -1,0 +1,141 @@
+"""Static linter: rule families over seeded fixtures, suppressions, CLI."""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis import lint_paths, lint_source
+from repro.analysis.findings import RULES
+from repro.analysis.linter import lint_file
+from repro.cli import main
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures", "analysis")
+
+
+def _fixture(name: str) -> str:
+    return os.path.join(FIXTURES, name)
+
+
+def _rule_lines(findings):
+    return [(f.rule, f.line) for f in findings]
+
+
+# ---------------------------------------------------------------------------
+# seeded-violation fixtures: exact rule ids and line numbers
+# ---------------------------------------------------------------------------
+def test_d1_fixture_exact_findings():
+    findings = lint_file(_fixture("d1_bad.py"))
+    assert _rule_lines(findings) == [
+        ("D1", 11),  # for-loop over a set with an appending body
+        ("D1", 18),  # list comprehension over a set
+        ("D1", 22),  # hash()
+        ("D1", 26),  # unseeded random.choice
+    ]
+
+
+def test_b1_fixture_exact_findings():
+    findings = lint_file(_fixture("b1_bad.py"))
+    assert _rule_lines(findings) == [
+        ("B1", 9),   # ctx._engine reach-through
+        ("B1", 21),  # graph mutator from compute
+        ("B1", 22),  # mutation of the live neighbors() view
+    ]
+
+
+def test_a1_fixture_exact_findings():
+    findings = lint_file(_fixture("a1_bad.py"))
+    # exactly one: the ScaleG program; the one-shot Pregel program is exempt
+    assert _rule_lines(findings) == [("A1", 9)]
+    assert "SilentProgram" in findings[0].message
+
+
+def test_s1_fixture_exact_findings():
+    findings = lint_file(_fixture("s1_bad.py"))
+    assert _rule_lines(findings) == [
+        ("S1", 10),  # subscript store into an alias of ctx.state
+        ("S1", 12),  # .update on a nested alias
+        ("S1", 13),  # .setdefault directly on ctx.state
+    ]
+
+
+def test_clean_fixture_has_zero_findings():
+    assert lint_file(_fixture("clean_program.py")) == []
+
+
+def test_every_emitted_rule_is_registered():
+    for finding in lint_paths([FIXTURES]):
+        assert finding.rule in RULES
+        assert finding.hint == RULES[finding.rule].hint
+
+
+# ---------------------------------------------------------------------------
+# lint_source behaviour: rule selection, suppressions, parse errors
+# ---------------------------------------------------------------------------
+def test_rule_selection_filters_families():
+    findings = lint_file(_fixture("b1_bad.py"), rules=["D1"])
+    assert findings == []
+    findings = lint_file(_fixture("d1_bad.py"), rules=["B1", "A1", "S1"])
+    assert findings == []
+
+
+def test_unknown_rule_id_raises():
+    with pytest.raises(ValueError, match="unknown lint rule"):
+        lint_source("x = 1", rules=["Z9"])
+
+
+def test_suppression_comment_silences_one_rule():
+    src = "def f(s):\n    out = []\n    for v in set(s):  # repro-lint: disable=D1\n        out.append(v)\n    return out\n"
+    assert lint_source(src) == []
+    # without the comment the same code is flagged
+    assert _rule_lines(lint_source(src.replace("  # repro-lint: disable=D1", ""))) == [("D1", 3)]
+
+
+def test_suppression_disable_all():
+    src = "x = hash('k')  # repro-lint: disable=all\n"
+    assert lint_source(src) == []
+
+
+def test_suppression_of_other_rule_keeps_finding():
+    src = "x = hash('k')  # repro-lint: disable=S1\n"
+    assert _rule_lines(lint_source(src)) == [("D1", 1)]
+
+
+def test_parse_error_yields_e0():
+    findings = lint_source("def broken(:\n")
+    assert [f.rule for f in findings] == ["E0"]
+
+
+# ---------------------------------------------------------------------------
+# the shipped tree stays clean
+# ---------------------------------------------------------------------------
+def test_src_repro_lints_clean():
+    root = os.path.join(os.path.dirname(__file__), os.pardir, "src", "repro")
+    assert lint_paths([os.path.normpath(root)]) == []
+
+
+# ---------------------------------------------------------------------------
+# CLI subcommand
+# ---------------------------------------------------------------------------
+def test_cli_lint_exit_codes(capsys):
+    assert main(["lint", _fixture("clean_program.py")]) == 0
+    assert "no findings" in capsys.readouterr().out
+    assert main(["lint", _fixture("d1_bad.py")]) == 1
+    out = capsys.readouterr().out
+    assert "D1" in out and "d1_bad.py:11" in out
+
+
+def test_cli_lint_json_output(capsys):
+    assert main(["lint", "--format", "json", _fixture("a1_bad.py")]) == 1
+    report = json.loads(capsys.readouterr().out)
+    assert report["count"] == 1
+    assert report["findings"][0]["rule"] == "A1"
+    assert report["findings"][0]["line"] == 9
+
+
+def test_cli_lint_rules_flag(capsys):
+    assert main(["lint", "--rules", "D1", _fixture("b1_bad.py")]) == 0
+    capsys.readouterr()
+    assert main(["lint", "--rules", "B1,S1", _fixture("b1_bad.py")]) == 1
+    capsys.readouterr()
+    assert main(["lint", "--rules", "Z9", _fixture("b1_bad.py")]) == 2

@@ -1,0 +1,188 @@
+"""Runtime contract checker: barrier isolation, convergence, enablement."""
+
+import pytest
+
+from repro.analysis.runtime import (
+    ContractChecker,
+    contracts_enabled,
+    resolve_contracts,
+)
+from repro.core.dismis import run_dismis
+from repro.core.oimis import OIMISProgram, OIMISPregelProgram, run_oimis
+from repro.core.maintainer import MISMaintainer
+from repro.errors import ContractViolation
+from repro.graph import generators
+from repro.graph.distributed_graph import DistributedGraph
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.pregel.engine import PregelEngine
+from repro.pregel.metrics import STATUS_BYTES
+from repro.pregel.partition import HashPartitioner
+from repro.scaleg.engine import ScaleGEngine, ScaleGProgram
+
+
+def _path_graph(n: int) -> DynamicGraph:
+    graph = DynamicGraph()
+    for u in range(n - 1):
+        graph.add_edge(u, u + 1)
+    return graph
+
+
+def _dgraph(graph: DynamicGraph, workers: int = 3) -> DistributedGraph:
+    return DistributedGraph(graph, HashPartitioner(workers))
+
+
+class _InPlaceMutator(ScaleGProgram):
+    """Deliberately broken: writes a neighbour's state mid-superstep."""
+
+    def initial_state(self, dgraph, u):
+        return True
+
+    def compute(self, ctx):
+        for v in ctx.sorted_neighbors():
+            ctx._engine._states[v] = False  # bypasses the double buffer
+            break
+        ctx.set_state(ctx.state)
+
+    def sync_bytes(self, state):
+        return STATUS_BYTES
+
+
+class _LyingProgram(OIMISProgram):
+    """Converges correctly but reports every vertex as a member."""
+
+    def contract_members(self, states):
+        return set(states)
+
+
+# ---------------------------------------------------------------------------
+# double-buffer isolation
+# ---------------------------------------------------------------------------
+def test_in_place_mutation_raises_at_barrier():
+    checker = ContractChecker()
+    engine = ScaleGEngine(_dgraph(_path_graph(6)), contracts=checker)
+    with pytest.raises(ContractViolation) as excinfo:
+        engine.run(_InPlaceMutator())
+    err = excinfo.value
+    assert err.contract == "double-buffer"
+    assert err.superstep == 0
+    assert err.vertex is not None
+
+
+def test_disabled_isolation_lets_mutation_pass_barrier():
+    checker = ContractChecker(check_isolation=False, check_convergence=False)
+    engine = ScaleGEngine(_dgraph(_path_graph(6)), contracts=checker)
+    engine.run(_InPlaceMutator())  # no raise: checks switched off
+    assert checker.supersteps_checked == 0
+
+
+# ---------------------------------------------------------------------------
+# clean programs pass with checking on, and the checker demonstrably ran
+# ---------------------------------------------------------------------------
+def test_oimis_scaleg_passes_contracts():
+    graph = generators.erdos_renyi(80, 200, seed=5)
+    checker = ContractChecker()
+    engine = ScaleGEngine(_dgraph(graph, 4), contracts=checker)
+    result = engine.run(OIMISProgram())
+    members = {u for u, in_set in result.states.items() if in_set}
+    assert members
+    assert checker.supersteps_checked > 0
+    assert checker.runs_checked == 1
+
+
+def test_oimis_pregel_passes_contracts():
+    graph = generators.erdos_renyi(60, 150, seed=9)
+    checker = ContractChecker()
+    engine = PregelEngine(_dgraph(graph, 4), contracts=checker)
+    engine.run(OIMISPregelProgram())
+    assert checker.supersteps_checked > 0
+    assert checker.runs_checked == 1
+
+
+def test_dismis_results_unchanged_by_contracts():
+    graph = generators.erdos_renyi(60, 150, seed=2)
+    with_contracts = run_dismis(graph, num_workers=4)
+    assert with_contracts.independent_set  # run_dismis has no contracts knob;
+    # equality with a checked engine run:
+    checker = ContractChecker()
+    from repro.core.dismis import DisMISProgram, Status
+
+    engine = ScaleGEngine(_dgraph(graph, 4), contracts=checker)
+    result = engine.run(DisMISProgram())
+    checked = {u for u, s in result.states.items() if s == Status.IN}
+    assert checked == with_contracts.independent_set
+    assert checker.runs_checked == 1
+
+
+# ---------------------------------------------------------------------------
+# convergence contracts
+# ---------------------------------------------------------------------------
+def test_lying_contract_members_raises_independence():
+    graph = _path_graph(5)
+    engine = ScaleGEngine(_dgraph(graph), contracts=ContractChecker())
+    with pytest.raises(ContractViolation) as excinfo:
+        engine.run(_LyingProgram())
+    assert excinfo.value.contract == "independence"
+
+
+def test_at_convergence_catches_non_maximal_set():
+    graph = _path_graph(5)  # 0-1-2-3-4; {0} leaves 2..4 uncovered
+    checker = ContractChecker()
+    with pytest.raises(ContractViolation) as excinfo:
+        checker.at_convergence(graph, {0})
+    assert excinfo.value.contract == "maximality"
+
+
+def test_at_convergence_catches_phantom_member():
+    graph = _path_graph(3)
+    checker = ContractChecker()
+    with pytest.raises(ContractViolation) as excinfo:
+        checker.at_convergence(graph, {0, 2, 99})
+    assert excinfo.value.contract == "independence"
+    assert excinfo.value.vertex == 99
+
+
+def test_at_convergence_accepts_valid_mis():
+    graph = _path_graph(5)
+    checker = ContractChecker()
+    checker.at_convergence(graph, {0, 2, 4})
+    assert checker.runs_checked == 1
+
+
+# ---------------------------------------------------------------------------
+# enablement plumbing
+# ---------------------------------------------------------------------------
+def test_resolve_contracts_explicit():
+    assert resolve_contracts(False) is None
+    assert isinstance(resolve_contracts(True), ContractChecker)
+    checker = ContractChecker()
+    assert resolve_contracts(checker) is checker
+
+
+def test_resolve_contracts_env_flag(monkeypatch):
+    monkeypatch.delenv("REPRO_CONTRACTS", raising=False)
+    assert not contracts_enabled()
+    assert resolve_contracts(None) is None
+    monkeypatch.setenv("REPRO_CONTRACTS", "1")
+    assert contracts_enabled()
+    assert isinstance(resolve_contracts(None), ContractChecker)
+    # explicit False overrides the environment
+    assert resolve_contracts(False) is None
+
+
+def test_env_flag_reaches_maintainer_engine(monkeypatch):
+    monkeypatch.setenv("REPRO_CONTRACTS", "1")
+    graph = generators.erdos_renyi(40, 90, seed=4)
+    maintainer = MISMaintainer(graph, num_workers=3)
+    assert maintainer._engine._contracts is not None
+    from repro.bench.workloads import delete_reinsert_workload
+
+    ops = delete_reinsert_workload(maintainer.graph, 10, seed=1)
+    maintainer.apply_stream(ops, batch_size=5)
+    maintainer.verify()
+    assert maintainer._engine._contracts.runs_checked > 0
+
+
+def test_contracts_off_by_default():
+    graph = _path_graph(4)
+    engine = ScaleGEngine(_dgraph(graph))
+    assert engine._contracts is None or contracts_enabled()
