@@ -1,0 +1,215 @@
+"""Seeded perf-regression microbenchmarks (``repro-mis bench-perf``).
+
+The tension this suite guards: the rank-ordered adjacency cache and the
+engine hot-loop work are *pure* optimizations — every logical meter
+(members, supersteps, activations, state changes, messages, bytes) must be
+bit-identical to the unoptimized code, while ``compute_work`` (neighbour
+scans) is expected to shrink.  Each scenario is fully seeded, so the
+logical section of the emitted JSON is deterministic down to the byte and
+``compute_work`` is deterministic too; wall time and memory are recorded
+for trend-watching but never compared.
+
+``run_suite`` executes the scenarios, ``write_baseline`` commits the result
+as ``BENCH_core.json`` at the repo root, and ``check_against`` diffs a fresh
+run against the committed baseline — the CI smoke job fails on any drift in
+a logical field or in ``compute_work``.
+
+Scenario naming follows the paper's experiments: ``static_oimis_*`` are
+full static computations (Table II conditions), ``fig10_single_*`` replay a
+delete-reinsert stream one update at a time (Fig. 10), ``fig11_batch_*``
+replay it in batches (Fig. 11).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Callable, Dict, List, Tuple
+
+from repro.core.activation import ActivationStrategy
+from repro.core.baselines import make_algorithm
+from repro.core.doimis import DOIMISMaintainer
+from repro.core.oimis import run_oimis
+from repro.bench.workloads import delete_reinsert_workload
+from repro.graph.datasets import load_dataset
+from repro.pregel.metrics import RunMetrics
+
+FORMAT = "repro-mis-bench-perf"
+VERSION = 1
+
+#: logical fields that must match the baseline bit-for-bit
+LOGICAL_FIELDS = (
+    "members_size", "members_checksum", "supersteps", "active_vertices",
+    "state_changes", "messages", "remote_messages", "bytes_sent",
+)
+
+
+def members_checksum(members) -> str:
+    """First 16 hex chars of sha256 over the sorted, comma-joined ids."""
+    blob = ",".join(str(u) for u in sorted(members)).encode()
+    return hashlib.sha256(blob).hexdigest()[:16]
+
+
+def _sections(members, metrics: RunMetrics, graph) -> Dict[str, Any]:
+    cache = graph.rank_cache()
+    active = metrics.active_vertices
+    return {
+        "logical": {
+            "members_size": len(members),
+            "members_checksum": members_checksum(members),
+            "supersteps": metrics.supersteps,
+            "active_vertices": active,
+            "state_changes": metrics.state_changes,
+            "messages": metrics.messages,
+            "remote_messages": metrics.remote_messages,
+            "bytes_sent": metrics.bytes_sent,
+        },
+        "perf": {
+            "compute_work": metrics.compute_work,
+            "scans_per_active_vertex": round(
+                metrics.compute_work / active, 3
+            ) if active else 0.0,
+            "wall_time_s": round(metrics.wall_time_s, 3),
+            "peak_worker_memory_bytes": metrics.peak_worker_memory_bytes,
+            "rank_cache": {"rebuilds": cache.rebuilds, "repairs": cache.repairs},
+        },
+    }
+
+
+# ---------------------------------------------------------------------------
+# scenarios (each returns the params echo plus logical/perf sections)
+# ---------------------------------------------------------------------------
+def _static_oimis(tag: str) -> Dict[str, Any]:
+    graph = load_dataset(tag)
+    run = run_oimis(graph, num_workers=10, strategy=ActivationStrategy.ALL)
+    result = _sections(run.independent_set, run.metrics, graph)
+    result["params"] = {"kind": "static_oimis", "dataset": tag,
+                        "workers": 10, "strategy": "all"}
+    return result
+
+
+def _fig10_single(tag: str, k: int, seed: int) -> Dict[str, Any]:
+    base = load_dataset(tag)
+    ops = delete_reinsert_workload(base, k, seed=seed)
+    maintainer = DOIMISMaintainer(
+        base.copy(), num_workers=10, strategy=ActivationStrategy.SAME_STATUS
+    )
+    maintainer.apply_stream(ops, batch_size=1)
+    result = _sections(
+        maintainer.independent_set(), maintainer.update_metrics,
+        maintainer.graph,
+    )
+    result["params"] = {"kind": "fig10_single", "dataset": tag, "k": k,
+                        "seed": seed, "batch_size": 1, "workers": 10,
+                        "algorithm": "DOIMIS*"}
+    return result
+
+
+def _fig10_single_scall(tag: str, k: int, seed: int) -> Dict[str, Any]:
+    base = load_dataset(tag)
+    ops = delete_reinsert_workload(base, k, seed=seed)
+    maintainer = make_algorithm("SCALL", load_dataset(tag), num_workers=10)
+    maintainer.apply_stream(ops, batch_size=1)
+    result = _sections(
+        maintainer.independent_set(), maintainer.update_metrics,
+        maintainer.graph,
+    )
+    result["params"] = {"kind": "fig10_single", "dataset": tag, "k": k,
+                        "seed": seed, "batch_size": 1, "workers": 10,
+                        "algorithm": "SCALL"}
+    return result
+
+
+def _fig11_batch(tag: str, k: int, seed: int, batch_size: int) -> Dict[str, Any]:
+    base = load_dataset(tag)
+    ops = delete_reinsert_workload(base, k, seed=seed)
+    maintainer = DOIMISMaintainer(
+        base.copy(), num_workers=10, strategy=ActivationStrategy.SAME_STATUS
+    )
+    maintainer.apply_stream(ops, batch_size=batch_size)
+    result = _sections(
+        maintainer.independent_set(), maintainer.update_metrics,
+        maintainer.graph,
+    )
+    result["params"] = {"kind": "fig11_batch", "dataset": tag, "k": k,
+                        "seed": seed, "batch_size": batch_size, "workers": 10,
+                        "algorithm": "DOIMIS*"}
+    return result
+
+
+SCENARIOS: Dict[str, Callable[[], Dict[str, Any]]] = {
+    "static_oimis_SKI": lambda: _static_oimis("SKI"),
+    "static_oimis_TW": lambda: _static_oimis("TW"),
+    "fig10_single_SKI": lambda: _fig10_single("SKI", 60, 7),
+    "fig10_single_scall_SKI": lambda: _fig10_single_scall("SKI", 60, 7),
+    "fig11_batch_TW": lambda: _fig11_batch("TW", 150, 11, 25),
+    "fig11_batch_AM": lambda: _fig11_batch("AM", 100, 13, 20),
+}
+
+
+# ---------------------------------------------------------------------------
+# suite driver / baseline IO / drift check
+# ---------------------------------------------------------------------------
+def run_suite(names: Tuple[str, ...] = ()) -> Dict[str, Any]:
+    """Run the selected scenarios (default: all) and return the document."""
+    selected = names or tuple(SCENARIOS)
+    unknown = [name for name in selected if name not in SCENARIOS]
+    if unknown:
+        raise ValueError(f"unknown scenario(s): {', '.join(sorted(unknown))}")
+    return {
+        "format": FORMAT,
+        "version": VERSION,
+        "scenarios": {name: SCENARIOS[name]() for name in selected},
+    }
+
+
+def write_baseline(path: str, document: Dict[str, Any]) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+
+
+def load_baseline(path: str) -> Dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if document.get("format") != FORMAT:
+        raise ValueError(f"{path}: not a {FORMAT} document")
+    if document.get("version") != VERSION:
+        raise ValueError(
+            f"{path}: version {document.get('version')!r}, expected {VERSION}"
+        )
+    return document
+
+
+def check_against(
+    baseline: Dict[str, Any], fresh: Dict[str, Any]
+) -> List[str]:
+    """Diff a fresh run against the committed baseline.
+
+    Logical fields and ``compute_work`` are compared exactly (both are
+    deterministic); wall time and memory are never compared.  Returns a list
+    of human-readable drift descriptions — empty means the check passed.
+    """
+    problems: List[str] = []
+    base_scenarios = baseline.get("scenarios", {})
+    for name, fresh_entry in fresh.get("scenarios", {}).items():
+        base_entry = base_scenarios.get(name)
+        if base_entry is None:
+            problems.append(f"{name}: missing from baseline (re-generate it)")
+            continue
+        for field in LOGICAL_FIELDS:
+            expected = base_entry["logical"].get(field)
+            got = fresh_entry["logical"].get(field)
+            if got != expected:
+                problems.append(
+                    f"{name}: logical field {field} drifted: "
+                    f"expected {expected!r}, got {got!r}"
+                )
+        expected_work = base_entry["perf"].get("compute_work")
+        got_work = fresh_entry["perf"].get("compute_work")
+        if got_work != expected_work:
+            problems.append(
+                f"{name}: compute_work drifted: "
+                f"expected {expected_work!r}, got {got_work!r}"
+            )
+    return problems

@@ -12,6 +12,9 @@ Subcommands
                workload for it.
 ``datasets``   list the 16 paper-dataset stand-ins.
 ``bench``      run one experiment driver (table2..fig13) and print its table.
+``bench-perf`` run the seeded perf microbenchmarks, writing (or, with
+               ``--check``, diffing against) the committed
+               ``BENCH_core.json`` baseline.
 ``lint``       statically check vertex programs for BSP discipline
                violations (non-deterministic iteration, double-buffer
                breaches, activation discipline, sync hygiene); exits
@@ -31,6 +34,7 @@ Examples
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -178,6 +182,31 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 1 if findings else 0
 
 
+def _cmd_bench_perf(args: argparse.Namespace) -> int:
+    from repro.bench import perf
+
+    names = tuple(args.scenario or ())
+    document = perf.run_suite(names)
+    if args.check:
+        try:
+            baseline = perf.load_baseline(args.output)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"error: cannot load baseline: {exc}", file=sys.stderr)
+            return 2
+        problems = perf.check_against(baseline, document)
+        if problems:
+            for problem in problems:
+                print(f"DRIFT {problem}")
+            print(f"{len(problems)} drift(s) against {args.output}")
+            return 1
+        checked = len(document["scenarios"])
+        print(f"ok: {checked} scenario(s) match {args.output}")
+        return 0
+    perf.write_baseline(args.output, document)
+    print(f"wrote {len(document['scenarios'])} scenario(s) to {args.output}")
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench import harness
     from repro.bench.reporting import format_table
@@ -252,6 +281,24 @@ def build_parser() -> argparse.ArgumentParser:
         "table2", "table3", "table4", "fig10", "fig11", "fig12", "fig13"))
     bench.add_argument("--k", type=int, default=100)
     bench.set_defaults(fn=_cmd_bench)
+
+    bench_perf = sub.add_parser(
+        "bench-perf",
+        help="seeded perf microbenchmarks (write or --check BENCH_core.json)",
+    )
+    bench_perf.add_argument(
+        "--output", "-o", default="BENCH_core.json",
+        help="baseline JSON path (default: BENCH_core.json)",
+    )
+    bench_perf.add_argument(
+        "--check", action="store_true",
+        help="compare a fresh run against the baseline instead of writing it",
+    )
+    bench_perf.add_argument(
+        "--scenario", action="append", metavar="NAME",
+        help="run only this scenario (repeatable; default: all)",
+    )
+    bench_perf.set_defaults(fn=_cmd_bench_perf)
 
     lint = sub.add_parser(
         "lint", help="statically check vertex programs for BSP discipline"

@@ -60,11 +60,12 @@ def activation_requests(
     predicate evaluation.
     """
     if strategy is ActivationStrategy.ALL:
-        for v in ctx.sorted_neighbors():
+        for v in ctx.ranked_neighbors():
             yield (v, None)
         return
     my_rank = (ctx.degree(), ctx.vertex)
     predicate = _same_status if strategy is ActivationStrategy.SAME_STATUS else None
-    for v in ctx.sorted_neighbors():
-        if ctx.rank_of(v) > my_rank:  # u ≺ v: v ranks lower
-            yield (v, predicate)
+    for v in ctx.ranked_neighbors():
+        if ctx.rank_of(v) < my_rank:
+            continue  # rank-ordered prefix: higher-ranking, never woken
+        yield (v, predicate)  # u ≺ v: v ranks lower

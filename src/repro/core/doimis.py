@@ -190,11 +190,14 @@ class DOIMISMaintainer:
         self._validate_batch(ops)
         started = time.perf_counter()
         touched: Set[int] = set()
-        new_guest_copies = 0
+        new_guests: List[int] = []  # vertex per brand-new guest copy
         for op in ops:
             if isinstance(op, EdgeInsertion):
                 gained_u, gained_v = self._dgraph.add_edge(op.u, op.v)
-                new_guest_copies += gained_u + gained_v
+                if gained_u:
+                    new_guests.extend([op.u] * gained_u)
+                if gained_v:
+                    new_guests.extend([op.v] * gained_v)
             else:
                 self._dgraph.remove_edge(op.u, op.v)
             touched.add(op.u)
@@ -207,7 +210,7 @@ class DOIMISMaintainer:
                 self._states[u] = True
 
         self._engine.charge_graph_update(
-            sorted(touched), new_guest_copies, self._program,
+            sorted(touched), new_guests, self._program,
             self._states, self.update_metrics,
         )
         affected = affected_vertices(self.graph, touched)

@@ -63,11 +63,22 @@ class OIMISProgram(ScaleGProgram):
         old = ctx.state
         new_in = True
         my_rank = (ctx.degree(), ctx.vertex)
-        for v in ctx.sorted_neighbors():
-            ctx.charge(1)  # rank comparison against the (guest) record of v
-            if ctx.rank_of(v) < my_rank and ctx.neighbor_state(v):
-                new_in = False
-                if not self.full_scan:
+        if self.full_scan:
+            # SCALL: examine every neighbour (same full cost in any order)
+            for v in ctx.ranked_neighbors():
+                ctx.charge(1)  # rank comparison against the guest record
+                if ctx.rank_of(v) < my_rank and ctx.neighbor_state(v):
+                    new_in = False
+        else:
+            # Rank-ordered scan: dominating candidates form a prefix, so the
+            # early break of Algorithm 2 fires at the first in-set neighbour
+            # — and the whole scan stops once nothing can precede u.
+            for v in ctx.ranked_neighbors():
+                ctx.charge(1)  # rank comparison against the guest record
+                if ctx.rank_of(v) > my_rank:
+                    break
+                if ctx.neighbor_state(v):
+                    new_in = False
                     break
         ctx.set_state(new_in)
         if new_in != old:
@@ -111,10 +122,16 @@ class OIMISPregelProgram(PregelProgram):
             ctx.charge(1)
         my_rank = (ctx.degree(), ctx.vertex)
         new_in = True
-        for v in sorted(cache):
-            deg_v, in_v = cache[v]
+        # rank-ordered scan (the ScaleG variant reads this order straight
+        # from the cached adjacency; here the per-vertex broadcast cache is
+        # state-local, so it is ordered on the fly)
+        for v, (deg_v, in_v) in sorted(
+            cache.items(), key=lambda item: (item[1][0], item[0])
+        ):
             ctx.charge(1)
-            if (deg_v, v) < my_rank and in_v:
+            if (deg_v, v) > my_rank:
+                break
+            if in_v:
                 new_in = False
                 break
         changed = new_in != state["in"]
@@ -165,14 +182,17 @@ def run_oimis(
 
 
 def run_oimis_pregel(
-    graph: DynamicGraph, num_workers: int = 10, partitioner=None
+    graph: DynamicGraph,
+    num_workers: int = 10,
+    partitioner=None,
+    metrics: Optional[RunMetrics] = None,
 ) -> "OIMISRun":
     """Compute the independent set with the message-passing variant."""
     dgraph = DistributedGraph(
         graph, partitioner or HashPartitioner(num_workers)
     )
     engine = PregelEngine(dgraph)
-    result = engine.run(OIMISPregelProgram())
+    result = engine.run(OIMISPregelProgram(), metrics=metrics)
     states = {u: s["in"] for u, s in result.states.items()}
     return OIMISRun(
         independent_set=independent_set_from_states(states),

@@ -118,6 +118,35 @@ class WeightedOIMISProgram(OIMISProgram):
             full_scan=full_scan,
         )
         self.weights = weights
+        self._rank_cache = None
+
+    def rank_cache(self, graph: DynamicGraph):
+        """A cache in GWMIN order: ascending ``(-w/(deg+1), -w, id)``.
+
+        The float ratio linearizes ``≺_w`` well enough to order scans, but
+        it can disagree with the exact cross-multiplied comparison under
+        rounding — so :meth:`compute` never prefix-breaks on it; an ordering
+        error costs extra scans, never correctness.  Weight changes are
+        repaired via :meth:`weight_changed`, degree changes automatically.
+        """
+        cache = self._rank_cache
+        if cache is None or cache.graph is not graph:
+            if cache is not None:
+                cache.graph.detach_rank_cache(cache)
+            weights = self.weights
+
+            def key(u: int) -> Tuple[float, float, int]:
+                w = weights[u]
+                return (-w / (graph.degree(u) + 1), -w, u)
+
+            cache = graph.attach_rank_cache(key)
+            self._rank_cache = cache
+        return cache
+
+    def weight_changed(self, u: int) -> None:
+        """Reposition ``u`` in the attached ``≺_w`` cache after a weight change."""
+        if self._rank_cache is not None:
+            self._rank_cache.refresh_key(u)
 
     def _degree_of(self, ctx: ScaleGContext, x: int) -> int:
         """Degree of ``x`` through the context (own record or guest copy)."""
@@ -139,7 +168,10 @@ class WeightedOIMISProgram(OIMISProgram):
         u = ctx.vertex
         old = ctx.state
         new_in = True
-        for v in ctx.sorted_neighbors():
+        # ranked = likely-dominating first, so the break fires early; the
+        # float cache order is advisory only — the exact _precedes test
+        # decides, and no prefix break is taken (see rank_cache docstring)
+        for v in ctx.ranked_neighbors():
             ctx.charge(1)
             if self._precedes(ctx, v, u) and ctx.neighbor_state(v):
                 new_in = False
@@ -148,13 +180,13 @@ class WeightedOIMISProgram(OIMISProgram):
         ctx.set_state(new_in)
         if new_in != old:
             if self.strategy is ActivationStrategy.ALL:
-                for v in ctx.sorted_neighbors():
+                for v in ctx.ranked_neighbors():
                     ctx.activate(v)
                 return
             predicate = None
             if self.strategy is ActivationStrategy.SAME_STATUS:
                 predicate = lambda src, dst: src == dst  # noqa: E731
-            for v in ctx.sorted_neighbors():
+            for v in ctx.ranked_neighbors():
                 if self._precedes(ctx, u, v):  # u ≺_w v: v ranks lower
                     ctx.activate(v, predicate)
 
@@ -221,8 +253,9 @@ class WeightedMISMaintainer(DOIMISMaintainer):
         if self.weights.get(u) == weight:
             return
         self.weights[u] = weight
+        self._program.weight_changed(u)
         self._engine.charge_graph_update(
-            [u], 0, self._program, self._states, self.update_metrics
+            [u], (), self._program, self._states, self.update_metrics
         )
         affected = affected_vertices(self.graph, {u})
         self._engine.run(

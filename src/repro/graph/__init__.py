@@ -2,6 +2,7 @@
 
 from repro.graph.dynamic_graph import DynamicGraph
 from repro.graph.distributed_graph import DistributedGraph
+from repro.graph.rank_cache import RankedAdjacency, degree_rank_key
 from repro.graph.updates import (
     EdgeDeletion,
     EdgeInsertion,
@@ -18,7 +19,9 @@ __all__ = [
     "DynamicGraph",
     "EdgeDeletion",
     "EdgeInsertion",
+    "RankedAdjacency",
     "UpdateBatch",
+    "degree_rank_key",
     "VertexDeletion",
     "VertexInsertion",
     "affected_vertices",

@@ -13,7 +13,7 @@ rejected for the same reason.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Set, Tuple
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.errors import (
     EdgeExistsError,
@@ -21,6 +21,7 @@ from repro.errors import (
     SelfLoopError,
     VertexNotFoundError,
 )
+from repro.graph.rank_cache import RankedAdjacency
 
 
 def normalize_edge(u: int, v: int) -> Tuple[int, int]:
@@ -45,10 +46,15 @@ class DynamicGraph:
     [3]
     """
 
-    __slots__ = ("_adj",)
+    __slots__ = ("_adj", "_rank_caches", "_default_rank_cache")
 
     def __init__(self) -> None:
         self._adj: Dict[int, Set[int]] = {}
+        # rank-ordered adjacency caches kept in lock-step with mutations
+        # (see repro.graph.rank_cache); attached lazily, so plain graphs
+        # pay nothing beyond the empty-list check per update
+        self._rank_caches: List[RankedAdjacency] = []
+        self._default_rank_cache: Optional[RankedAdjacency] = None
 
     # ------------------------------------------------------------------
     # construction
@@ -75,7 +81,7 @@ class DynamicGraph:
         return graph
 
     def copy(self) -> "DynamicGraph":
-        """Return a deep copy (adjacency sets are not shared)."""
+        """Return a deep copy (adjacency sets and rank caches not shared)."""
         clone = DynamicGraph()
         clone._adj = {u: set(nbrs) for u, nbrs in self._adj.items()}
         return clone
@@ -95,9 +101,18 @@ class DynamicGraph:
         """
         nbrs = self._require(u)
         removed = [(u, v) for v in sorted(nbrs)]
-        for v in nbrs:
-            self._adj[v].discard(u)
-        del self._adj[u]
+        if self._rank_caches:
+            # route through remove_edge so every incident deletion repairs
+            # the attached rank caches (neighbour degrees all shift)
+            for _, v in removed:
+                self.remove_edge(u, v)
+            del self._adj[u]
+            for cache in self._rank_caches:
+                cache.on_remove_vertex(u)
+        else:
+            for v in nbrs:
+                self._adj[v].discard(u)
+            del self._adj[u]
         return removed
 
     def has_vertex(self, u: int) -> bool:
@@ -136,6 +151,8 @@ class DynamicGraph:
             raise EdgeExistsError(u, v)
         self._adj[u].add(v)
         self._adj[v].add(u)
+        for cache in self._rank_caches:
+            cache.on_add_edge(u, v)
 
     def remove_edge(self, u: int, v: int) -> None:
         """Delete edge ``(u, v)``.
@@ -149,6 +166,8 @@ class DynamicGraph:
             raise EdgeNotFoundError(u, v)
         self._adj[u].discard(v)
         self._adj[v].discard(u)
+        for cache in self._rank_caches:
+            cache.on_remove_edge(u, v)
 
     def has_edge(self, u: int, v: int) -> bool:
         nbrs = self._adj.get(u)
@@ -190,6 +209,41 @@ class DynamicGraph:
         if not self._adj:
             return 0
         return max(len(nbrs) for nbrs in self._adj.values())
+
+    # ------------------------------------------------------------------
+    # rank-ordered adjacency (the paper's ≺ scan order, cached)
+    # ------------------------------------------------------------------
+    def rank_cache(self) -> RankedAdjacency:
+        """The shared ``(degree, id)``-ordered adjacency cache.
+
+        Created on first use and kept in lock-step with every mutation;
+        all engines running on this graph share it.
+        """
+        if self._default_rank_cache is None:
+            self._default_rank_cache = RankedAdjacency(self)
+            self._rank_caches.append(self._default_rank_cache)
+        return self._default_rank_cache
+
+    def ranked_neighbors(self, u: int) -> List[int]:
+        """Neighbours of ``u`` in ascending ``(degree, id)`` order (cached;
+        a live view — do not mutate)."""
+        return self.rank_cache().ranked_neighbors(u)
+
+    def attach_rank_cache(
+        self, key: Callable[[int], Any]
+    ) -> RankedAdjacency:
+        """Attach an extra cache ordered by a custom rank key (e.g. the
+        weighted ``≺_w``); it is repaired on every subsequent mutation."""
+        cache = RankedAdjacency(self, key=key)
+        self._rank_caches.append(cache)
+        return cache
+
+    def detach_rank_cache(self, cache: RankedAdjacency) -> None:
+        """Stop repairing ``cache`` (no-op if it is not attached)."""
+        if cache in self._rank_caches:
+            self._rank_caches.remove(cache)
+        if cache is self._default_rank_cache:
+            self._default_rank_cache = None
 
     # ------------------------------------------------------------------
     # dunder / misc

@@ -170,6 +170,8 @@ class PregelEngine:
         initial_active: Optional[Iterable[int]] = None,
         max_supersteps: Optional[int] = None,
         states: Optional[Dict[int, Any]] = None,
+        metrics: Optional[RunMetrics] = None,
+        keep_records: bool = True,
     ) -> PregelResult:
         """Run ``program`` to quiescence and return states + metrics.
 
@@ -177,13 +179,19 @@ class PregelEngine:
         dynamic callers pass the affected set.  ``states`` lets a caller
         resume from previously computed states (dynamic maintenance);
         otherwise states come from :meth:`PregelProgram.initial_state`.
+        ``metrics`` lets a caller accumulate several runs — possibly across
+        engines — into one shared meter (matching
+        :meth:`~repro.scaleg.engine.ScaleGEngine.run`): counters add up and
+        ``wall_time_s`` accumulates instead of being overwritten.
+        ``keep_records`` retains per-superstep records on the meter.
 
         Raises :class:`SuperstepLimitExceeded` if the program does not
         converge within ``max_supersteps`` (default ``4n + 16``, safely above
         the paper's ``O(n)`` bound).
         """
         graph = self.dgraph.graph
-        metrics = RunMetrics(num_workers=self.dgraph.num_workers)
+        if metrics is None:
+            metrics = RunMetrics(num_workers=self.dgraph.num_workers)
         started = time.perf_counter()
 
         if states is None:
@@ -202,6 +210,7 @@ class PregelEngine:
             active = sorted({u for u in initial_active if graph.has_vertex(u)})
         inbox: Dict[int, List[Any]] = {}
         superstep = 0
+        took_snapshot = False
 
         while active or inbox:
             if superstep >= max_supersteps:
@@ -246,7 +255,7 @@ class PregelEngine:
                 queue_bytes += msg.wire_bytes()
                 inbox.setdefault(msg.dest, []).append(msg.payload)
 
-            metrics.observe(record)
+            metrics.observe(record, keep_record=keep_records)
             self._aggregators.roll()
             active = sorted(inbox)
             superstep += 1
@@ -255,15 +264,18 @@ class PregelEngine:
             if superstep == 1 or queue_bytes:
                 per_worker = self._memory_snapshot(program, states, inbox)
                 metrics.observe_memory(per_worker)
+                took_snapshot = True
 
         if self._contracts is not None:
             members = program.contract_members(states)
             if members is not None:
                 self._contracts.at_convergence(graph, members)
 
-        if metrics.peak_worker_memory_bytes == 0:
+        # guarantee >= 1 snapshot per run — keyed on this run, not the
+        # meter: a shared meter may arrive with a peak from an earlier run
+        if not took_snapshot:
             metrics.observe_memory(self._memory_snapshot(program, states, {}))
-        metrics.wall_time_s = time.perf_counter() - started
+        metrics.wall_time_s += time.perf_counter() - started
         aggregates = {
             name: self._aggregators.previous(name)
             for name in self._aggregators.names()

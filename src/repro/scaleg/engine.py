@@ -40,6 +40,7 @@ from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.graph.distributed_graph import DistributedGraph
+    from repro.graph.rank_cache import RankedAdjacency
 from repro.pregel.metrics import (
     ACTIVATION_ENTRY_BYTES,
     MESSAGE_OVERHEAD_BYTES,
@@ -79,12 +80,22 @@ class ScaleGProgram(ABC):
         """
         return None
 
+    def rank_cache(self, graph) -> RankedAdjacency:
+        """The rank-ordered adjacency cache ``compute`` scans via
+        :meth:`ScaleGContext.ranked_neighbors`.
+
+        Defaults to the graph's shared ``(degree, id)`` cache — the paper's
+        ``≺``.  Programs driven by a different total order (the weighted
+        extension's ``≺_w``) override this with a custom-key cache.
+        """
+        return graph.rank_cache()
+
 
 class ScaleGContext:
     """Per-vertex view handed to :meth:`ScaleGProgram.compute`."""
 
     __slots__ = ("_engine", "vertex", "superstep", "_old", "_new", "_changed",
-                 "_work", "_activations", "_force_sync")
+                 "_work", "_activations", "_pred_activations", "_force_sync")
 
     def __init__(self, engine: "ScaleGEngine", vertex: int, superstep: int,
                  state: Any):
@@ -95,7 +106,23 @@ class ScaleGContext:
         self._new = state
         self._changed = False
         self._work = 0
-        self._activations: List[Tuple[int, Any]] = []
+        #: activation targets without a predicate (the common case — kept
+        #: as bare ids so the hot loop allocates no per-activation tuples)
+        self._activations: List[int] = []
+        #: activation targets whose predicate runs at the barrier
+        self._pred_activations: List[Tuple[int, Any]] = []
+        self._force_sync = False
+
+    def _reset(self, vertex: int, superstep: int, state: Any) -> None:
+        """Rearm for the next vertex (the engine reuses one context across
+        the whole active sweep; activation lists are detached on hand-off,
+        so they are always empty here)."""
+        self.vertex = vertex
+        self.superstep = superstep
+        self._old = state
+        self._new = state
+        self._changed = False
+        self._work = 0
         self._force_sync = False
 
     # -- own state -----------------------------------------------------
@@ -138,6 +165,23 @@ class ScaleGContext:
         """Neighbours in ascending id order (deterministic scans)."""
         return sorted(self._engine.dgraph.neighbors(self.vertex))
 
+    def ranked_neighbors(self) -> List[int]:
+        """Neighbours in ascending ``≺`` rank order (a live cached view —
+        do not mutate).
+
+        Served from the engine's rank-ordered adjacency cache, which graph
+        updates repair incrementally; like the adjacency itself it lives
+        with the (guest) vertex records, so reading it is free on the meter.
+        Scanning in this order lets Algorithm 2's early ``break`` stop at
+        the first dominating in-neighbour — and stop scanning entirely once
+        a neighbour no longer precedes this vertex.
+        """
+        ranked = self._engine._ranked
+        if ranked is None:
+            # context used outside run() (tests, tools): default ≺ cache
+            ranked = self._engine._ranked = self._engine.dgraph.graph.rank_cache()
+        return ranked.ranked_neighbors(self.vertex)
+
     def degree(self) -> int:
         return self._engine.dgraph.degree(self.vertex)
 
@@ -153,7 +197,10 @@ class ScaleGContext:
         optimization (Lemma 5.2) needs exactly this: comparing statuses at
         the end of the superstep, not mid-compute snapshots.
         """
-        self._activations.append((v, predicate))
+        if predicate is None:
+            self._activations.append(v)
+        else:
+            self._pred_activations.append((v, predicate))
 
     def force_sync(self) -> None:
         """Ship this vertex's state to its guest copies even if unchanged.
@@ -194,6 +241,7 @@ class ScaleGEngine:
 
         self.dgraph = dgraph
         self._states: Dict[int, Any] = {}
+        self._ranked: Optional[RankedAdjacency] = None
         self._contracts = resolve_contracts(contracts)
 
     def run(
@@ -232,75 +280,111 @@ class ScaleGEngine:
         else:
             active = sorted({u for u in initial_active if graph.has_vertex(u)})
 
+        self._ranked = program.rank_cache(graph)
+        dgraph = self.dgraph
+        worker_of = dgraph.worker_of
+        is_remote_pair = dgraph.is_remote_pair
+        contracts = self._contracts
+        # the O(active·deg) read-set sweep is only needed when the checker
+        # actually snapshots (isolation on); otherwise skip it entirely
+        check_isolation = contracts is not None and contracts.check_isolation
+        # one context reused across every compute call (programs may not
+        # retain it across supersteps — BSP discipline, enforced by lint)
+        ctx = ScaleGContext(self, 0, 0, None)
+
         superstep = 0
         ran_supersteps = 0
         while active:
             if ran_supersteps >= max_supersteps:
                 raise SuperstepLimitExceeded(max_supersteps)
             record = SuperstepRecord(superstep=superstep)
-            record.worker_work = [0] * self.dgraph.num_workers
+            worker_work = record.worker_work = [0] * dgraph.num_workers
 
-            if self._contracts is not None:
+            if check_isolation:
                 read_set: Set[int] = set(active)
                 for u in active:
                     read_set.update(graph.neighbors(u))
-                self._contracts.begin_superstep(superstep, read_set, states)
+                contracts.begin_superstep(superstep, read_set, states)
 
             new_states: Dict[int, Any] = {}
             changed: List[int] = []
             forced: List[int] = []
-            activations: List[Tuple[int, int, Any]] = []  # (src, dst, pred)
+            #: (source, plain targets, predicated targets) per requesting
+            #: vertex — no per-activation (src, dst, pred) tuples when no
+            #: predicate is registered
+            requests: List[Tuple[int, List[int], List[Tuple[int, Any]]]] = []
+            compute = program.compute
 
             for u in active:
-                ctx = ScaleGContext(self, u, superstep, states[u])
-                program.compute(ctx)
-                record.active_vertices += 1
-                record.compute_work += ctx._work
-                record.worker_work[self.dgraph.worker_of(u)] += max(ctx._work, 1)
+                ctx._reset(u, superstep, states[u])
+                compute(ctx)
+                work = ctx._work
+                record.compute_work += work
+                worker_work[worker_of(u)] += work if work > 1 else 1
                 if ctx._changed:
                     new_states[u] = ctx._new
                     changed.append(u)
                 elif ctx._force_sync:
                     forced.append(u)
-                for v, predicate in ctx._activations:
-                    activations.append((u, v, predicate))
+                if ctx._activations or ctx._pred_activations:
+                    requests.append((u, ctx._activations, ctx._pred_activations))
+                    ctx._activations = []
+                    ctx._pred_activations = []
+            record.active_vertices = len(active)
 
-            if self._contracts is not None:
-                self._contracts.at_barrier(superstep, states)
+            if contracts is not None:
+                contracts.at_barrier(superstep, states)
             states.update(new_states)
 
             # --- charge state sync: once per (synced vertex, guest machine)
             changed_set = set(changed)
-            for u in changed:
-                record.state_changes += 1
+            record.state_changes = len(changed)
+            guest_machines = dgraph.guest_machines
+            sync_bytes = program.sync_bytes
             for u in changed + forced:
-                payload = VERTEX_ID_BYTES + program.sync_bytes(states[u])
-                for _machine in self.dgraph.guest_machines(u):
+                payload = VERTEX_ID_BYTES + sync_bytes(states[u])
+                for _machine in guest_machines(u):
                     record.remote_messages += 1
                     record.bytes_sent += MESSAGE_OVERHEAD_BYTES + payload
 
             # --- filter + charge activation routing, build next active ----
             synced_set = changed_set.union(forced)
             next_active: Set[int] = set()
-            for source, target, predicate in activations:
-                if not graph.has_vertex(target):
+            has_vertex = graph.has_vertex
+            for source, plain, predicated in requests:
+                for target in plain:
+                    if not has_vertex(target):
+                        continue
+                    next_active.add(target)
+                    record.messages += 1
+                    if is_remote_pair(source, target):
+                        record.remote_messages += 1
+                        if source in synced_set:
+                            # piggybacked on the sync record already shipped
+                            # to the target's machine
+                            record.bytes_sent += ACTIVATION_ENTRY_BYTES
+                        else:
+                            record.bytes_sent += (
+                                MESSAGE_OVERHEAD_BYTES + VERTEX_ID_BYTES
+                            )
+                if not predicated:
                     continue
-                if predicate is not None and not predicate(
-                    states[source], states[target]
-                ):
-                    continue
-                next_active.add(target)
-                record.messages += 1
-                if self.dgraph.is_remote_pair(source, target):
-                    record.remote_messages += 1
-                    if source in synced_set:
-                        # piggybacked on the sync record already shipped to
-                        # the target's machine
-                        record.bytes_sent += ACTIVATION_ENTRY_BYTES
-                    else:
-                        record.bytes_sent += (
-                            MESSAGE_OVERHEAD_BYTES + VERTEX_ID_BYTES
-                        )
+                source_state = states[source]
+                for target, predicate in predicated:
+                    if not has_vertex(target):
+                        continue
+                    if not predicate(source_state, states[target]):
+                        continue
+                    next_active.add(target)
+                    record.messages += 1
+                    if is_remote_pair(source, target):
+                        record.remote_messages += 1
+                        if source in synced_set:
+                            record.bytes_sent += ACTIVATION_ENTRY_BYTES
+                        else:
+                            record.bytes_sent += (
+                                MESSAGE_OVERHEAD_BYTES + VERTEX_ID_BYTES
+                            )
             own_metrics.observe(record, keep_record=keep_records)
             active = sorted(next_active)
             superstep += 1
@@ -320,7 +404,7 @@ class ScaleGEngine:
     def charge_graph_update(
         self,
         endpoints: Iterable[int],
-        new_guest_copies: int,
+        new_guests: Iterable[int],
         program: ScaleGProgram,
         states: Dict[int, Any],
         metrics: RunMetrics,
@@ -331,7 +415,10 @@ class ScaleGEngine:
         its endpoints, and "the updated degree of a vertex will be sent to
         its copies in other machines".  Additionally, a brand-new guest copy
         (an endpoint becomes adjacent to a machine that had no replica)
-        ships the full vertex state once.
+        ships the full vertex state once: ``new_guests`` lists the vertex
+        gaining each new copy (one entry per copy), so variable-size states
+        (weighted programs, dict states) are priced at *that* vertex's own
+        ``sync_bytes``, not an arbitrary sample's.
         """
         from repro.pregel.metrics import DEGREE_BYTES
 
@@ -343,15 +430,13 @@ class ScaleGEngine:
                 MESSAGE_OVERHEAD_BYTES + VERTEX_ID_BYTES + DEGREE_BYTES
             )
             metrics.remote_messages += copies
-        if new_guest_copies:
-            sample = next(iter(states.values()), None)
+        for u in new_guests:
+            state = states.get(u)
             payload = VERTEX_ID_BYTES + (
-                program.sync_bytes(sample) if sample is not None else 8
+                program.sync_bytes(state) if state is not None else 8
             )
-            metrics.bytes_sent += new_guest_copies * (
-                MESSAGE_OVERHEAD_BYTES + payload
-            )
-            metrics.remote_messages += new_guest_copies
+            metrics.bytes_sent += MESSAGE_OVERHEAD_BYTES + payload
+            metrics.remote_messages += 1
 
     def _memory_snapshot(
         self, program: ScaleGProgram, states: Dict[int, Any]

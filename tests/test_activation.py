@@ -56,8 +56,9 @@ class TestTargets:
         ctx = _context_for(g, 1, {1: True, 2: True, 3: True, 4: True})
         targets = [t for t, _ in activation_requests(ctx, ActivationStrategy.LOWER_RANKING)]
         # 1 (deg 2) dominates 2 (deg 3) but not 3 (deg 2, lower id than...):
-        # rank(3) = (2, 3) > rank(1) = (2, 1): 3 ranks lower -> activated
-        assert targets == [2, 3]
+        # rank(3) = (2, 3) > rank(1) = (2, 1): 3 ranks lower -> activated,
+        # yielded in ascending rank order: (2, 3) before (3, 2)
+        assert targets == [3, 2]
 
 
 class TestEnum:

@@ -1,0 +1,135 @@
+"""Cross-engine metrics parity: one shared meter across Pregel + ScaleG.
+
+Both engines accept a caller-owned :class:`RunMetrics` and fold their run
+into it — counters add up, ``wall_time_s`` accumulates (never overwrites),
+and ``keep_records`` controls per-superstep record retention on both.
+"""
+
+from repro.core.oimis import run_oimis, run_oimis_pregel
+from repro.graph.distributed_graph import DistributedGraph
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.generators import erdos_renyi
+from repro.pregel.engine import PregelEngine
+from repro.pregel.metrics import (
+    MESSAGE_OVERHEAD_BYTES,
+    VERTEX_ID_BYTES,
+    RunMetrics,
+)
+from repro.pregel.partition import HashPartitioner
+from repro.scaleg.engine import ScaleGEngine, ScaleGProgram
+from repro.core.oimis import OIMISPregelProgram, OIMISProgram
+
+
+def _graph():
+    return erdos_renyi(40, 100, seed=21)
+
+
+class TestSharedMeterAcrossEngines:
+    def test_one_meter_accumulates_pregel_then_scaleg(self):
+        solo_pregel = run_oimis_pregel(_graph(), num_workers=4)
+        solo_scaleg = run_oimis(_graph(), num_workers=4)
+
+        shared = RunMetrics(num_workers=4)
+        pregel_run = run_oimis_pregel(_graph(), num_workers=4, metrics=shared)
+        wall_after_pregel = shared.wall_time_s
+        assert pregel_run.metrics is shared
+        scaleg_run = run_oimis(_graph(), num_workers=4, metrics=shared)
+        assert scaleg_run.metrics is shared
+
+        assert shared.supersteps == (
+            solo_pregel.metrics.supersteps + solo_scaleg.metrics.supersteps
+        )
+        assert shared.compute_work == (
+            solo_pregel.metrics.compute_work + solo_scaleg.metrics.compute_work
+        )
+        assert shared.bytes_sent == (
+            solo_pregel.metrics.bytes_sent + solo_scaleg.metrics.bytes_sent
+        )
+        # wall time accumulated, not overwritten by the second run
+        assert shared.wall_time_s > wall_after_pregel > 0
+        # both engines produced the same set, so both contributed records
+        assert len(shared.records) == shared.supersteps
+        assert pregel_run.independent_set == scaleg_run.independent_set
+
+    def test_both_runs_snapshot_memory_on_shared_meter(self):
+        shared = RunMetrics(num_workers=4)
+        run_oimis(_graph(), num_workers=4, metrics=shared)
+        peak_after_first = shared.peak_worker_memory_bytes
+        assert peak_after_first > 0
+        # a second run must still snapshot even though the meter already
+        # carries a nonzero peak (the old code keyed the fallback on that)
+        run_oimis_pregel(_graph(), num_workers=4, metrics=shared)
+        assert shared.peak_worker_memory_bytes >= peak_after_first
+
+
+class TestPregelKeepRecords:
+    def test_keep_records_false_drops_records_keeps_counters(self):
+        graph = _graph()
+        dgraph = DistributedGraph(graph, HashPartitioner(4))
+        result = PregelEngine(dgraph).run(
+            OIMISPregelProgram(), keep_records=False
+        )
+        assert result.metrics.supersteps > 0
+        assert result.metrics.records == []
+
+    def test_keep_records_default_retains(self):
+        graph = _graph()
+        dgraph = DistributedGraph(graph, HashPartitioner(4))
+        result = PregelEngine(dgraph).run(OIMISPregelProgram())
+        assert len(result.metrics.records) == result.metrics.supersteps
+
+
+class _VariableSizeProgram(ScaleGProgram):
+    """States of very different sync sizes, to pin the new-guest pricing."""
+
+    def initial_state(self, dgraph, u):
+        return "x" * (u + 1)
+
+    def compute(self, ctx):  # pragma: no cover - never run
+        raise AssertionError("compute not exercised")
+
+    def sync_bytes(self, state):
+        return len(state)
+
+
+class TestChargeGraphUpdatePricing:
+    def _engine(self):
+        graph = DynamicGraph.from_edges([(1, 2), (2, 3)])
+        return ScaleGEngine(DistributedGraph(graph, HashPartitioner(2)))
+
+    def test_new_guest_charged_its_own_state_size(self):
+        engine = self._engine()
+        program = _VariableSizeProgram()
+        states = {1: "x", 2: "xx", 3: "xxx"}
+        metrics = RunMetrics(num_workers=2)
+        engine.charge_graph_update([], [3], program, states, metrics)
+        assert metrics.remote_messages == 1
+        assert metrics.bytes_sent == (
+            MESSAGE_OVERHEAD_BYTES + VERTEX_ID_BYTES + 3
+        )
+
+    def test_each_new_copy_charged_separately(self):
+        engine = self._engine()
+        program = _VariableSizeProgram()
+        states = {1: "x", 2: "xx", 3: "xxx"}
+        metrics = RunMetrics(num_workers=2)
+        engine.charge_graph_update([], [1, 3, 3], program, states, metrics)
+        assert metrics.remote_messages == 3
+        assert metrics.bytes_sent == (
+            3 * (MESSAGE_OVERHEAD_BYTES + VERTEX_ID_BYTES) + 1 + 3 + 3
+        )
+
+    def test_unknown_state_falls_back_to_default_size(self):
+        engine = self._engine()
+        program = _VariableSizeProgram()
+        metrics = RunMetrics(num_workers=2)
+        engine.charge_graph_update([], [9], program, {}, metrics)
+        assert metrics.bytes_sent == MESSAGE_OVERHEAD_BYTES + VERTEX_ID_BYTES + 8
+
+    def test_boolean_false_state_is_priced_not_defaulted(self):
+        engine = self._engine()
+        program = OIMISProgram()
+        metrics = RunMetrics(num_workers=2)
+        engine.charge_graph_update([], [1], program, {1: False}, metrics)
+        # STATUS_BYTES (1), not the 8-byte unknown-state fallback
+        assert metrics.bytes_sent == MESSAGE_OVERHEAD_BYTES + VERTEX_ID_BYTES + 1
