@@ -11,7 +11,12 @@ Subcommands
                stand-in) as an edge list, and optionally a delete-reinsert
                workload for it.
 ``datasets``   list the 16 paper-dataset stand-ins.
-``bench``      run one experiment driver (table2..fig13) and print its table.
+``bench``      run one experiment driver (table2..fig13, chaos) and print
+               its table.
+``chaos``      sweep seeded fault-injection schedules (worker crashes,
+               dropped/duplicated/reordered sync records, stragglers) over
+               Fig. 10/11 workloads and assert the convergence oracle:
+               bit-identical final set and logical meters.
 ``bench-perf`` run the seeded perf microbenchmarks, writing (or, with
                ``--check``, diffing against) the committed
                ``BENCH_core.json`` baseline.
@@ -109,7 +114,25 @@ def _cmd_maintain(args: argparse.Namespace) -> int:
         print(f"loaded {maintainer.graph}; initial |M|={len(maintainer)}")
     ops = read_update_stream(args.updates)
     print(f"applying {len(ops)} updates in batches of {args.batch_size}")
-    maintainer.apply_stream(ops, batch_size=args.batch_size)
+    if args.checkpoint_every:
+        # periodic saves: if the stream dies mid-way (bad op, fault
+        # escalation, crash of this process), the file on disk holds the
+        # state after the last completed group — resume with --resume
+        from repro.bench.workloads import batched
+
+        batches_done = 0
+        for batch in batched(ops, args.batch_size):
+            maintainer.apply_batch(batch)
+            batches_done += 1
+            if batches_done % args.checkpoint_every == 0:
+                maintainer.save(args.checkpoint)
+                print(
+                    f"checkpoint written to {args.checkpoint} "
+                    f"(after {batches_done} batches, "
+                    f"{maintainer.updates_applied} updates)"
+                )
+    else:
+        maintainer.apply_stream(ops, batch_size=args.batch_size)
     print(f"final independent set size: {len(maintainer)}")
     _print_metrics("maintenance", maintainer.update_metrics)
     if args.verify:
@@ -207,6 +230,39 @@ def _cmd_bench_perf(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.faults import chaos
+
+    presets = args.preset or list(chaos.PLAN_PRESETS)
+    seeds = args.seed or list(range(args.seeds))
+    results = chaos.chaos_suite(presets=presets, seeds=seeds)
+    if args.format == "json":
+        print(json.dumps([r.as_dict() for r in results], indent=2))
+    else:
+        print(f"{'workload':20} {'preset':10} {'seed':>4} {'injected':>8} "
+              f"{'recovery':>8} {'verdict'}")
+        for r in results:
+            recovery = int(r.recovery.get("recovery_crashes", 0)
+                           + r.recovery.get("recovery_sync_retries", 0)
+                           + r.recovery.get("recovery_sync_duplicates", 0)
+                           + r.recovery.get("recovery_reorders", 0))
+            verdict = "ok" if r.ok else "FAIL"
+            print(f"{r.workload:20} {r.preset:10} {r.seed:>4} "
+                  f"{r.injected_total:>8} {recovery:>8} {verdict}")
+            for failure in r.failures:
+                print(f"    - {failure}")
+    bad = [r for r in results if not r.ok]
+    if bad:
+        print(f"{len(bad)}/{len(results)} chaos case(s) violated the "
+              "convergence oracle", file=sys.stderr)
+        return 1
+    # keep stdout machine-readable under --format json
+    summary_stream = sys.stderr if args.format == "json" else sys.stdout
+    print(f"ok: {len(results)} chaos case(s) converged to the fault-free "
+          "fixpoint with bit-identical logical meters", file=summary_stream)
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench import harness
     from repro.bench.reporting import format_table
@@ -219,6 +275,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         "fig11": (harness.fig11_batch_size, {"k": args.k}),
         "fig12": (harness.fig12_machines, {"k": args.k}),
         "fig13": (harness.fig13_updates, {}),
+        "chaos": (harness.chaos_oracle, {}),
     }
     driver, kwargs = drivers[args.experiment]
     rows = driver(**kwargs)
@@ -255,6 +312,10 @@ def build_parser() -> argparse.ArgumentParser:
     maintain.add_argument("--batch-size", type=int, default=1)
     maintain.add_argument("--verify", action="store_true")
     maintain.add_argument("--checkpoint", help="write a checkpoint after the stream")
+    maintain.add_argument(
+        "--checkpoint-every", type=int, default=0, metavar="N",
+        help="also write the checkpoint every N batches (needs --checkpoint)",
+    )
     maintain.add_argument("--resume", help="resume from a checkpoint instead of a graph")
     maintain.add_argument("--output", "-o", help="write member ids to this file")
     maintain.set_defaults(fn=_cmd_maintain)
@@ -278,9 +339,30 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench = sub.add_parser("bench", help="run one experiment driver")
     bench.add_argument("experiment", choices=(
-        "table2", "table3", "table4", "fig10", "fig11", "fig12", "fig13"))
+        "table2", "table3", "table4", "fig10", "fig11", "fig12", "fig13",
+        "chaos"))
     bench.add_argument("--k", type=int, default=100)
     bench.set_defaults(fn=_cmd_bench)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="sweep seeded fault schedules, assert the convergence oracle",
+    )
+    chaos.add_argument(
+        "--preset", action="append", metavar="NAME",
+        help="fault preset to run (repeatable; default: all — "
+        "none/crash/drop/duplicate/straggler/reorder/composed)",
+    )
+    chaos.add_argument(
+        "--seeds", type=int, default=1,
+        help="sweep plan seeds 0..N-1 (default: 1)",
+    )
+    chaos.add_argument(
+        "--seed", action="append", type=int, metavar="S",
+        help="run exactly this plan seed (repeatable; overrides --seeds)",
+    )
+    chaos.add_argument("--format", choices=("table", "json"), default="table")
+    chaos.set_defaults(fn=_cmd_chaos)
 
     bench_perf = sub.add_parser(
         "bench-perf",
@@ -324,6 +406,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "maintain":
         if bool(args.resume) == bool(args.graph):
             parser.error("maintain needs exactly one of --graph or --resume")
+        if args.checkpoint_every < 0:
+            parser.error("--checkpoint-every must be >= 0")
+        if args.checkpoint_every and not args.checkpoint:
+            parser.error("--checkpoint-every needs --checkpoint PATH")
     if args.command == "generate" and args.model == "dataset" and not args.dataset:
         parser.error("generate dataset needs --dataset TAG")
     try:

@@ -63,6 +63,11 @@ class DOIMISMaintainer:
         Retain per-superstep records in the update metrics.  Needed for the
         per-superstep makespan model; off by default because a 100k-update
         stream would accumulate hundreds of thousands of records.
+    faults:
+        A :class:`~repro.faults.plan.FaultPlan` or
+        :class:`~repro.faults.injector.FaultInjector` handed to the engine —
+        every maintenance run then executes under seeded fault injection
+        with recovery.  ``None`` (or an empty plan) is the fault-free build.
     """
 
     def __init__(
@@ -75,11 +80,12 @@ class DOIMISMaintainer:
         keep_records: bool = False,
         resume_states: Optional[Dict[int, bool]] = None,
         program: Optional[OIMISProgram] = None,
+        faults=None,
     ):
         self._dgraph = DistributedGraph(
             graph, partitioner or HashPartitioner(num_workers)
         )
-        self._engine = ScaleGEngine(self._dgraph)
+        self._engine = ScaleGEngine(self._dgraph, faults=faults)
         self._program = program if program is not None else OIMISProgram(
             strategy=strategy, full_scan=full_scan
         )
@@ -205,9 +211,11 @@ class DOIMISMaintainer:
         # edge insertions may introduce brand-new vertices: they join with
         # in = true, exactly like Section VI's vertex insertion (sorted so
         # the state dict's insertion order never depends on set hashing)
+        created: List[int] = []
         for u in sorted(touched):
             if u not in self._states and self._dgraph.has_vertex(u):
                 self._states[u] = True
+                created.append(u)
 
         self._engine.charge_graph_update(
             sorted(touched), new_guests, self._program,
@@ -215,13 +223,28 @@ class DOIMISMaintainer:
         )
         affected = affected_vertices(self.graph, touched)
         self.update_metrics.wall_time_s += time.perf_counter() - started
-        self._engine.run(
-            self._program,
-            initial_active=affected,
-            states=self._states,
-            metrics=self.update_metrics,
-            keep_records=self._keep_records,
-        )
+        try:
+            self._engine.run(
+                self._program,
+                initial_active=affected,
+                states=self._states,
+                metrics=self.update_metrics,
+                keep_records=self._keep_records,
+            )
+        except BaseException:
+            # the engine restored every state it overwrote; undo this
+            # batch's graph mutations (guest directory follows in
+            # lock-step) and implicitly-created vertices so the maintainer
+            # is exactly as before apply_batch was called
+            for op in reversed(ops):
+                if isinstance(op, EdgeInsertion):
+                    self._dgraph.remove_edge(op.u, op.v)
+                else:
+                    self._dgraph.add_edge(op.u, op.v)
+            for u in created:
+                self._dgraph.remove_vertex(u)
+                self._states.pop(u, None)
+            raise
         self.updates_applied += len(ops)
         self.batches_applied += 1
 

@@ -28,6 +28,11 @@ from repro.graph.dynamic_graph import DynamicGraph
 from repro.graph.io import read_edge_list
 from repro.pregel.partition import Partitioner
 
+CHECKPOINT_FORMAT = "repro-mis-checkpoint"
+#: bump when the payload schema changes; :meth:`MISMaintainer.load` accepts
+#: every version up to this one and rejects anything newer
+CHECKPOINT_VERSION = 1
+
 
 class MISMaintainer(DOIMISMaintainer):
     """Distributed near-maximum independent set maintenance (DOIMIS*)."""
@@ -40,6 +45,7 @@ class MISMaintainer(DOIMISMaintainer):
         partitioner: Optional[Partitioner] = None,
         keep_records: bool = False,
         resume_states=None,
+        faults=None,
     ):
         super().__init__(
             graph,
@@ -48,6 +54,7 @@ class MISMaintainer(DOIMISMaintainer):
             partitioner=partitioner,
             keep_records=keep_records,
             resume_states=resume_states,
+            faults=faults,
         )
 
     @classmethod
@@ -74,8 +81,8 @@ class MISMaintainer(DOIMISMaintainer):
         import json
 
         payload = {
-            "format": "repro-mis-checkpoint",
-            "version": 1,
+            "format": CHECKPOINT_FORMAT,
+            "version": CHECKPOINT_VERSION,
             "num_workers": self.num_workers,
             "strategy": self.strategy.value,
             "vertices": self.graph.sorted_vertices(),
@@ -88,33 +95,76 @@ class MISMaintainer(DOIMISMaintainer):
 
     @classmethod
     def load(cls, path, verify: bool = True) -> "MISMaintainer":
-        """Restore a maintainer from a :meth:`save` checkpoint."""
+        """Restore a maintainer from a :meth:`save` checkpoint.
+
+        Every way a checkpoint can be bad — missing file, truncated or
+        corrupt JSON, wrong or future schema version, malformed vertex ids —
+        raises :class:`~repro.errors.CheckpointError` naming the path and
+        the reason; callers never see a bare ``json.JSONDecodeError`` or
+        ``KeyError``.
+        """
         import json
 
-        from repro.errors import ReproError
+        from repro.errors import CheckpointError
 
-        with open(path, "r", encoding="utf-8") as handle:
-            payload = json.load(handle)
-        if payload.get("format") != "repro-mis-checkpoint":
-            raise ReproError(f"{path} is not a repro MIS checkpoint")
-        graph = DynamicGraph.from_edges(
-            (tuple(e) for e in payload["edges"]), vertices=payload["vertices"]
-        )
-        members = set(payload["independent_set"])
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except OSError as exc:
+            raise CheckpointError(path, exc.strerror or str(exc)) from exc
+        except json.JSONDecodeError as exc:
+            raise CheckpointError(
+                path, f"truncated or corrupt JSON ({exc})"
+            ) from exc
+        if not isinstance(payload, dict) \
+                or payload.get("format") != CHECKPOINT_FORMAT:
+            raise CheckpointError(
+                path, f"not a {CHECKPOINT_FORMAT} document"
+            )
+        version = payload.get("version")
+        if not isinstance(version, int) or not 1 <= version <= CHECKPOINT_VERSION:
+            raise CheckpointError(
+                path,
+                f"unsupported checkpoint version {version!r} "
+                f"(this build reads 1..{CHECKPOINT_VERSION})",
+            )
+        try:
+            vertices = [int(u) for u in payload["vertices"]]
+            edges = [(int(u), int(v)) for u, v in payload["edges"]]
+            members = {int(u) for u in payload["independent_set"]}
+            num_workers = int(payload["num_workers"])
+            strategy = ActivationStrategy(payload["strategy"])
+            updates_applied = int(payload.get("updates_applied", 0))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(path, f"malformed payload: {exc}") from exc
+        bad = [u for u in vertices if u < 0]
+        bad += [u for e in edges for u in e if u < 0]
+        if bad:
+            raise CheckpointError(
+                path, f"negative vertex id(s): {sorted(set(bad))[:5]}"
+            )
+        if num_workers < 1:
+            raise CheckpointError(
+                path, f"num_workers must be >= 1, got {num_workers}"
+            )
+        try:
+            graph = DynamicGraph.from_edges(edges, vertices=vertices)
+        except Exception as exc:
+            raise CheckpointError(path, f"invalid graph: {exc}") from exc
         maintainer = cls(
             graph,
-            num_workers=int(payload["num_workers"]),
-            strategy=ActivationStrategy(payload["strategy"]),
+            num_workers=num_workers,
+            strategy=strategy,
             resume_states={u: (u in members) for u in graph.vertices()},
         )
-        maintainer.updates_applied = int(payload.get("updates_applied", 0))
+        maintainer.updates_applied = updates_applied
         if verify:
             maintainer.verify()
         return maintainer
 
     def stats(self) -> Dict[str, float]:
         """A snapshot of set size and accumulated maintenance costs."""
-        return {
+        snapshot = {
             "vertices": self.graph.num_vertices,
             "edges": self.graph.num_edges,
             "set_size": float(len(self)),
@@ -126,3 +176,9 @@ class MISMaintainer(DOIMISMaintainer):
             "memory_mb": self.update_metrics.memory_mb,
             "wall_time_s": self.update_metrics.wall_time_s,
         }
+        # fault-recovery overhead accrues on whichever run was faulted
+        # (the initial static run or the update runs) — report the sum
+        init_recovery = self.init_metrics.recovery_summary()
+        for name, value in self.update_metrics.recovery_summary().items():
+            snapshot[name] = float(init_recovery[name] + value)
+        return snapshot

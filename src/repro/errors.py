@@ -68,6 +68,63 @@ class PartitionError(EngineError):
     """Raised when a partitioner produces an invalid worker assignment."""
 
 
+class WorkerFailure(EngineError):
+    """Raised when a simulated worker fails and recovery cannot proceed.
+
+    The engines *handle* injected crashes internally (rollback to the last
+    barrier checkpoint and replay); this exception surfaces only when a
+    failure is unrecoverable — e.g. sync retries exhausted — so callers
+    (the maintainer, the streaming session) can keep their own state
+    consistent and decide whether to retry the whole batch.
+    """
+
+    def __init__(self, worker: "int | None", superstep: "int | None", reason: str):
+        where = []
+        if worker is not None:
+            where.append(f"worker {worker}")
+        if superstep is not None:
+            where.append(f"superstep {superstep}")
+        suffix = f" ({', '.join(where)})" if where else ""
+        super().__init__(f"worker failure{suffix}: {reason}")
+        self.worker = worker
+        self.superstep = superstep
+        self.reason = reason
+
+
+class SyncRetryExhausted(WorkerFailure):
+    """A guest-sync record kept being dropped past the retry budget.
+
+    Transient drops are retried with exponential backoff and charged to the
+    ``recovery_*`` meters; a record dropped more than ``max_retries`` times
+    is treated as a dead link and escalates to this failure.
+    """
+
+    def __init__(self, vertex: int, machine: int, attempts: int,
+                 superstep: "int | None" = None):
+        super().__init__(
+            machine, superstep,
+            f"sync record for vertex {vertex} dropped {attempts} times "
+            f"(retry budget exhausted)",
+        )
+        self.vertex = vertex
+        self.machine = machine
+        self.attempts = attempts
+
+
+class CheckpointError(ReproError):
+    """Raised when a checkpoint file cannot be loaded.
+
+    Always carries the offending path and a human-readable reason so a
+    truncated, corrupt, or future-versioned checkpoint fails loudly instead
+    of surfacing a bare ``json.JSONDecodeError``/``KeyError``.
+    """
+
+    def __init__(self, path, reason: str):
+        super().__init__(f"cannot load checkpoint {path}: {reason}")
+        self.path = path
+        self.reason = reason
+
+
 class ContractViolation(EngineError):
     """Raised by the runtime contract checker when a BSP invariant breaks.
 

@@ -1,0 +1,285 @@
+"""Chaos harness: sweep seeded fault schedules, assert the convergence oracle.
+
+Theorems 4.2/6.1 make DOIMIS self-checking under failure: the maintained set
+is the *unique* greedy fixpoint of ``≺``, so whatever faults the engines
+survive, the final set must be **bit-identical** to the fault-free run — and
+because recovery detects crashes at the barrier *before* anything commits,
+every logical meter must match too.  Each chaos case therefore asserts:
+
+1. the faulted final set equals the fault-free reference set, member for
+   member;
+2. the set is a valid MIS fixpoint (independence + maximality + the greedy
+   order, via :func:`~repro.core.verification.assert_valid_mis`);
+3. all logical meters (the ``bench-perf`` ``LOGICAL_FIELDS`` plus
+   ``compute_work``) are bit-identical to the reference — recovery overhead
+   may only appear under the ``recovery_*`` meter family;
+4. for the ``none`` preset additionally: zero faults injected, zero
+   recovery events (the empty plan is byte-for-byte the fault-free build).
+
+Workloads are scaled-down Fig. 10/11 protocols (delete ``k`` random edges,
+re-insert them; single-update and batched) on the small stand-in datasets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.activation import ActivationStrategy
+from repro.core.doimis import DOIMISMaintainer
+from repro.errors import ReproError, WorkloadError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+
+#: fault-plan presets swept by ``repro-mis chaos`` — kwargs for
+#: :class:`FaultPlan` (the seed is supplied per case).  Probabilities are
+#: per-opportunity; the smoke-scale workloads run thousands of them, so
+#: every preset fires many times per case.
+PLAN_PRESETS: Dict[str, Dict[str, Any]] = {
+    "none": {},
+    "crash": {"crash_prob": 0.02},
+    "drop": {"drop_prob": 0.01},
+    "duplicate": {"duplicate_prob": 0.02},
+    "straggler": {"straggler_prob": 0.05, "straggler_delay_s": 0.01},
+    # permute every superstep that syncs >= 2 records — reorder is an
+    # order-independence probe, so the adversarial schedule is "always"
+    "reorder": {"reorder_prob": 1.0},
+    "composed": {
+        "crash_prob": 0.01,
+        "drop_prob": 0.005,
+        "duplicate_prob": 0.01,
+        "straggler_prob": 0.02,
+        "straggler_delay_s": 0.01,
+        "reorder_prob": 0.1,
+    },
+}
+
+
+@dataclass(frozen=True)
+class ChaosWorkload:
+    """One Fig. 10/11-shaped maintenance workload at chaos-smoke scale."""
+
+    tag: str  # stand-in dataset tag
+    k: int  # delete k random edges, re-insert them (2k ops)
+    batch_size: int
+    workload_seed: int = 0
+
+    @property
+    def name(self) -> str:
+        fig = "fig10_single" if self.batch_size == 1 else "fig11_batch"
+        return f"{fig}_{self.tag}"
+
+
+#: default sweep — one single-update stream and one batched stream, on the
+#: two smallest stand-ins (chaos replays every workload once per preset per
+#: seed, so smoke scale matters)
+CHAOS_WORKLOADS: Tuple[ChaosWorkload, ...] = (
+    ChaosWorkload(tag="AM", k=25, batch_size=1, workload_seed=5),
+    ChaosWorkload(tag="SL", k=40, batch_size=10, workload_seed=9),
+)
+
+#: logical meters that must be bit-identical between the faulted run and
+#: the fault-free reference (superset of ``bench-perf``'s LOGICAL_FIELDS:
+#: recovery replays charge their compute to ``recovery_compute_work``, so
+#: the logical ``compute_work`` must match too)
+LOGICAL_METERS = (
+    "supersteps", "active_vertices", "state_changes",
+    "messages", "remote_messages", "bytes_sent", "compute_work",
+)
+
+
+def plan_for(preset: str, seed: int) -> FaultPlan:
+    """The :class:`FaultPlan` for a named preset at ``seed``."""
+    try:
+        kwargs = PLAN_PRESETS[preset]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown chaos preset {preset!r}; "
+            f"known: {', '.join(PLAN_PRESETS)}"
+        ) from None
+    return FaultPlan(seed=seed, **kwargs)
+
+
+@dataclass
+class ChaosReference:
+    """The fault-free run's observables for one workload."""
+
+    members: List[int]
+    logical: Dict[str, int]
+    #: logical meters of the initial static computation (faults fire there
+    #: too — run 0 of the injector's schedule)
+    init_logical: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class ChaosCaseResult:
+    """Outcome of one (workload, preset, seed) chaos case."""
+
+    workload: str
+    preset: str
+    seed: int
+    injected: Dict[str, int] = field(default_factory=dict)
+    recovery: Dict[str, float] = field(default_factory=dict)
+    failures: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    @property
+    def injected_total(self) -> int:
+        return sum(self.injected.values())
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "workload": self.workload,
+            "preset": self.preset,
+            "seed": self.seed,
+            "ok": self.ok,
+            "injected": dict(self.injected),
+            "recovery": dict(self.recovery),
+            "failures": list(self.failures),
+        }
+
+
+def _build_case(workload: ChaosWorkload):
+    """(graph copy, ops) for one workload — deterministic per workload."""
+    from repro.bench.workloads import delete_reinsert_workload
+    from repro.graph.datasets import load_dataset
+
+    base = load_dataset(workload.tag)
+    ops = delete_reinsert_workload(base, workload.k, seed=workload.workload_seed)
+    return base, ops
+
+
+def _logical_fingerprint(metrics) -> Dict[str, int]:
+    return {name: getattr(metrics, name) for name in LOGICAL_METERS}
+
+
+def _run_maintenance(
+    workload: ChaosWorkload, faults=None
+) -> Tuple[DOIMISMaintainer, Any]:
+    graph, ops = _build_case(workload)
+    maintainer = DOIMISMaintainer(
+        graph,
+        num_workers=10,
+        strategy=ActivationStrategy.SAME_STATUS,
+        faults=faults,
+    )
+    maintainer.apply_stream(ops, batch_size=workload.batch_size)
+    return maintainer, maintainer.update_metrics
+
+
+def reference_run(workload: ChaosWorkload) -> ChaosReference:
+    """The fault-free observables every chaos case compares against."""
+    maintainer, metrics = _run_maintenance(workload, faults=None)
+    return ChaosReference(
+        members=sorted(maintainer.independent_set()),
+        logical=_logical_fingerprint(metrics),
+        init_logical=_logical_fingerprint(maintainer.init_metrics),
+    )
+
+
+def run_chaos_case(
+    workload: ChaosWorkload,
+    preset: str,
+    seed: int,
+    reference: Optional[ChaosReference] = None,
+) -> ChaosCaseResult:
+    """Replay ``workload`` under ``preset``'s seeded plan; check the oracle.
+
+    ``reference`` lets a sweep reuse one fault-free run per workload; when
+    omitted it is computed here.  Never raises for an oracle violation —
+    failures are reported on the result so a sweep surveys the whole grid.
+    """
+    if reference is None:
+        reference = reference_run(workload)
+    result = ChaosCaseResult(workload=workload.name, preset=preset, seed=seed)
+    plan = plan_for(preset, seed)
+    injector = FaultInjector(plan)
+
+    try:
+        maintainer, metrics = _run_maintenance(workload, faults=injector)
+    except ReproError as exc:
+        # SyncRetryExhausted (drops beyond the retry budget) is the one
+        # *designed* escalation; anything else is an oracle failure outright
+        result.injected = injector.stats.as_dict()
+        result.failures.append(f"run raised {type(exc).__name__}: {exc}")
+        return result
+
+    result.injected = injector.stats.as_dict()
+    # faults fire during the initial static run too — its recovery charges
+    # live on init_metrics, so report both meters combined
+    init_recovery = maintainer.init_metrics.recovery_summary()
+    update_recovery = metrics.recovery_summary()
+    result.recovery = {
+        name: init_recovery[name] + update_recovery[name]
+        for name in update_recovery
+    }
+
+    members = sorted(maintainer.independent_set())
+    if members != reference.members:
+        result.failures.append(
+            f"final set diverged: |faulted|={len(members)} "
+            f"|reference|={len(reference.members)}"
+        )
+    try:
+        maintainer.verify()
+    except ReproError as exc:
+        result.failures.append(f"fixpoint verification failed: {exc}")
+
+    logical = _logical_fingerprint(metrics)
+    init_logical = _logical_fingerprint(maintainer.init_metrics)
+    for name in LOGICAL_METERS:
+        if logical[name] != reference.logical[name]:
+            result.failures.append(
+                f"logical meter {name} drifted: faulted={logical[name]} "
+                f"reference={reference.logical[name]}"
+            )
+        if init_logical[name] != reference.init_logical[name]:
+            result.failures.append(
+                f"init logical meter {name} drifted: "
+                f"faulted={init_logical[name]} "
+                f"reference={reference.init_logical[name]}"
+            )
+
+    if plan.is_empty:
+        if result.injected_total:
+            result.failures.append(
+                f"empty plan injected {result.injected_total} fault(s)"
+            )
+        recovery_total = sum(result.recovery.values())
+        if recovery_total:
+            result.failures.append(
+                f"empty plan charged recovery meters: {result.recovery}"
+            )
+    return result
+
+
+def chaos_suite(
+    presets: Sequence[str] = (),
+    seeds: Iterable[int] = (0,),
+    workloads: Sequence[ChaosWorkload] = CHAOS_WORKLOADS,
+) -> List[ChaosCaseResult]:
+    """Sweep ``presets x seeds`` over ``workloads`` (reference once each).
+
+    Defaults to every preset in :data:`PLAN_PRESETS`.  Returns one
+    :class:`ChaosCaseResult` per case; callers decide whether any failure is
+    fatal (``repro-mis chaos`` exits non-zero).
+    """
+    selected = list(presets) or list(PLAN_PRESETS)
+    for preset in selected:
+        if preset not in PLAN_PRESETS:
+            raise WorkloadError(
+                f"unknown chaos preset {preset!r}; "
+                f"known: {', '.join(PLAN_PRESETS)}"
+            )
+    results: List[ChaosCaseResult] = []
+    for workload in workloads:
+        reference = reference_run(workload)
+        for preset in selected:
+            for seed in seeds:
+                results.append(
+                    run_chaos_case(workload, preset, seed, reference=reference)
+                )
+    return results

@@ -1,0 +1,178 @@
+"""Runtime fault injection (:class:`FaultInjector`).
+
+The injector is the mutable half of the fault layer: it wraps a pure
+:class:`~repro.faults.plan.FaultPlan` with
+
+- a **run counter** (the maintainer starts one engine run per batch, and
+  superstep numbering restarts every run — schedule coordinates include the
+  run index);
+- a **fired set**, so a fault consumed at a coordinate never re-fires when
+  the recovered superstep is replayed (otherwise a barrier crash would
+  crash its own replay, forever);
+- **injection statistics** (:class:`FaultStats`) independent of the
+  engines' ``recovery_*`` meters, so tests can assert "the plan actually
+  fired" separately from "the engine charged the recovery";
+- the **retry policy** for transient sync drops: up to ``max_retries``
+  resends with exponential backoff (modelled time, charged to
+  ``recovery_backoff_s``); more drops than retries escalate to
+  :class:`~repro.errors.SyncRetryExhausted`.
+
+One injector may serve many engine runs (an update stream), and both
+engines accept it through their constructors or ``run(..., faults=...)``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.faults.plan import FaultPlan
+
+
+@dataclass
+class FaultStats:
+    """Counts of faults actually injected (not merely scheduled)."""
+
+    crashes: int = 0
+    drops: int = 0
+    duplicates: int = 0
+    reorders: int = 0
+    stragglers: int = 0
+
+    @property
+    def total(self) -> int:
+        return (self.crashes + self.drops + self.duplicates
+                + self.reorders + self.stragglers)
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "crashes": self.crashes,
+            "drops": self.drops,
+            "duplicates": self.duplicates,
+            "reorders": self.reorders,
+            "stragglers": self.stragglers,
+        }
+
+
+class FaultInjector:
+    """Consults a :class:`FaultPlan` at the engines' interception points.
+
+    Parameters
+    ----------
+    plan:
+        The schedule to execute.
+    max_retries:
+        Resend budget for a dropped sync record; exceeding it raises
+        :class:`~repro.errors.SyncRetryExhausted` from the engine.
+    backoff_base_s:
+        Modelled wait before the first resend; doubles per further attempt.
+    """
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        max_retries: int = 3,
+        backoff_base_s: float = 0.01,
+    ):
+        self.plan = plan
+        self.max_retries = max_retries
+        self.backoff_base_s = backoff_base_s
+        self.stats = FaultStats()
+        self._run = -1
+        self._fired: Set[Tuple] = set()
+
+    # ------------------------------------------------------------------
+    @property
+    def active(self) -> bool:
+        """Whether the plan can fire at all (engines skip all interception
+        work for an inactive injector)."""
+        return not self.plan.is_empty
+
+    @property
+    def run_index(self) -> int:
+        """Index of the engine run currently being served (-1 before any)."""
+        return self._run
+
+    def begin_run(self) -> None:
+        """Called by an engine at the top of :meth:`run`."""
+        self._run += 1
+
+    def _once(self, key: Tuple) -> bool:
+        """True the first time ``key`` is seen; False on replay."""
+        if key in self._fired:
+            return False
+        self._fired.add(key)
+        return True
+
+    # ------------------------------------------------------------------
+    # interception points
+    # ------------------------------------------------------------------
+    def crashed_workers(self, superstep: int, workers: Sequence[int]) -> List[int]:
+        """Workers crashing at this superstep's barrier (each fires once)."""
+        crashed = [
+            w for w in workers
+            if self.plan.crash_at(self._run, superstep, w)
+            and self._once(("crash", self._run, superstep, w))
+        ]
+        self.stats.crashes += len(crashed)
+        return crashed
+
+    def sync_drops(self, superstep: int, vertex: int, machine: int) -> int:
+        """Failed attempts for this sync record (0 = delivered first try)."""
+        drops = self.plan.sync_drops(self._run, superstep, vertex, machine)
+        if drops and self._once(("drop", self._run, superstep, vertex, machine)):
+            self.stats.drops += 1
+            return drops
+        return 0
+
+    def sync_duplicates(self, superstep: int, vertex: int, machine: int) -> int:
+        """Redundant copies of this sync record shipped by the network."""
+        copies = self.plan.sync_duplicates(self._run, superstep, vertex, machine)
+        if copies and self._once(("dup", self._run, superstep, vertex, machine)):
+            self.stats.duplicates += 1
+            return copies
+        return 0
+
+    def straggler_delay(self, superstep: int, worker: int) -> float:
+        """Modelled extra seconds worker ``worker`` takes this sweep."""
+        delay = self.plan.straggler_delay(self._run, superstep, worker)
+        if delay and self._once(("straggle", self._run, superstep, worker)):
+            self.stats.stragglers += 1
+            return delay
+        return 0.0
+
+    def permute(self, superstep: int, items: List) -> List:
+        """The superstep's sync/delivery order, adversarially permuted when
+        the plan schedules a reorder (seeded — reproducible), else as-is."""
+        if len(items) < 2 or not self.plan.reorder_at(self._run, superstep):
+            return items
+        if not self._once(("reorder", self._run, superstep)):
+            return items
+        self.stats.reorders += 1
+        shuffled = list(items)
+        random.Random(self.plan.reorder_seed(self._run, superstep)).shuffle(shuffled)
+        return shuffled
+
+    def backoff_time(self, attempts: int) -> float:
+        """Modelled backoff spent on ``attempts`` failed sends
+        (``base * (2^attempts - 1)`` — the exponential series)."""
+        return self.backoff_base_s * ((1 << attempts) - 1)
+
+
+def resolve_faults(
+    faults: Union[None, FaultPlan, FaultInjector],
+) -> Optional[FaultInjector]:
+    """Normalize an engine's ``faults`` argument.
+
+    ``None`` disables injection, a :class:`FaultPlan` gets a fresh injector
+    with default retry policy, a :class:`FaultInjector` is used as-is (and
+    may be shared across runs/engines).  An injector whose plan is empty
+    resolves to ``None`` so the engines skip every interception point —
+    with an empty plan the hot loop is byte-for-byte the fault-free one.
+    """
+    if faults is None:
+        return None
+    if isinstance(faults, FaultPlan):
+        faults = FaultInjector(faults)
+    return faults if faults.active else None

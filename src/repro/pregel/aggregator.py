@@ -98,5 +98,16 @@ class AggregatorRegistry:
             name: agg.identity() for name, agg in self._aggregators.items()
         }
 
+    def reset_current(self) -> None:
+        """Discard this superstep's contributions without publishing.
+
+        Crash recovery replays an aborted superstep from its checkpoint; the
+        aborted sweep's contributions must not double-count when the replay
+        contributes again.
+        """
+        self._current = {
+            name: agg.identity() for name, agg in self._aggregators.items()
+        }
+
     def names(self):
         return self._aggregators.keys()

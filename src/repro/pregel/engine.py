@@ -25,7 +25,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Set
 
-from repro.errors import SuperstepLimitExceeded
+from repro.errors import SuperstepLimitExceeded, SyncRetryExhausted, WorkerFailure
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -153,16 +153,22 @@ class PregelResult:
 class PregelEngine:
     """Executes a :class:`PregelProgram` over a :class:`DistributedGraph`."""
 
-    def __init__(self, dgraph: "DistributedGraph", contracts=None):
+    def __init__(self, dgraph: "DistributedGraph", contracts=None, faults=None):
         """``contracts``: ``None`` defers to the ``REPRO_CONTRACTS`` env
         flag, ``True``/``False`` force runtime contract checking on/off, or
-        pass a :class:`~repro.analysis.runtime.ContractChecker` directly."""
+        pass a :class:`~repro.analysis.runtime.ContractChecker` directly.
+        ``faults``: a :class:`~repro.faults.plan.FaultPlan` or
+        :class:`~repro.faults.injector.FaultInjector` enabling seeded fault
+        injection + recovery; ``None`` (or an empty plan) leaves the run
+        loop exactly as in the fault-free build."""
         from repro.analysis.runtime import resolve_contracts
+        from repro.faults.injector import resolve_faults
 
         self.dgraph = dgraph
         self._outbox: List[Message] = []
         self._aggregators = AggregatorRegistry()
         self._contracts = resolve_contracts(contracts)
+        self._faults = resolve_faults(faults)
 
     def run(
         self,
@@ -172,6 +178,7 @@ class PregelEngine:
         states: Optional[Dict[int, Any]] = None,
         metrics: Optional[RunMetrics] = None,
         keep_records: bool = True,
+        faults=None,
     ) -> PregelResult:
         """Run ``program`` to quiescence and return states + metrics.
 
@@ -185,10 +192,18 @@ class PregelEngine:
         ``wall_time_s`` accumulates instead of being overwritten.
         ``keep_records`` retains per-superstep records on the meter.
 
+        ``faults`` overrides the engine's fault injector for this run.
+
         Raises :class:`SuperstepLimitExceeded` if the program does not
         converge within ``max_supersteps`` (default ``4n + 16``, safely above
         the paper's ``O(n)`` bound).
+
+        Exception safety: if the run raises, every entry of ``states`` is
+        restored to its value at run entry — no partially converged
+        superstep leaks into a caller's resumed states.
         """
+        from repro.faults.injector import resolve_faults
+
         graph = self.dgraph.graph
         if metrics is None:
             metrics = RunMetrics(num_workers=self.dgraph.num_workers)
@@ -208,63 +223,169 @@ class PregelEngine:
             active: List[int] = graph.sorted_vertices()
         else:
             active = sorted({u for u in initial_active if graph.has_vertex(u)})
+        injector = resolve_faults(faults) if faults is not None else self._faults
+        if injector is not None:
+            injector.begin_run()
+
         inbox: Dict[int, List[Any]] = {}
+        #: wire bytes delivered per destination last superstep — the cost of
+        #: re-fetching a crashed worker's inbox from the senders' logs
+        inbox_bytes: Dict[int, int] = {}
         superstep = 0
         took_snapshot = False
+        #: run-entry values of every state this run overwrote, restored if
+        #: the run raises (exception safety for resumed maintenance states)
+        dirty: Dict[int, Any] = {}
+        try:
+            while active or inbox:
+                if superstep >= max_supersteps:
+                    raise SuperstepLimitExceeded(max_supersteps)
+                record = SuperstepRecord(superstep=superstep)
+                record.worker_work = [0] * self.dgraph.num_workers
+                self._outbox = []
+                new_states: Dict[int, Any] = {}
 
-        while active or inbox:
-            if superstep >= max_supersteps:
-                raise SuperstepLimitExceeded(max_supersteps)
-            record = SuperstepRecord(superstep=superstep)
-            record.worker_work = [0] * self.dgraph.num_workers
-            self._outbox = []
-            new_states: Dict[int, Any] = {}
+                checkpoint = None
+                if injector is not None:
+                    from repro.faults.recovery import SuperstepCheckpoint
 
-            if self._contracts is not None:
-                self._contracts.begin_superstep(superstep, active, states)
+                    checkpoint = SuperstepCheckpoint.capture(
+                        superstep, states, active
+                    )
 
-            for u in active:
-                ctx = PregelContext(
-                    self, u, superstep, inbox.get(u, []), states[u]
-                )
-                program.compute(ctx)
-                record.active_vertices += 1
-                record.compute_work += ctx._work
-                record.worker_work[self.dgraph.worker_of(u)] += max(ctx._work, 1)
-                if ctx._changed:
-                    new_states[u] = ctx._new_state
-                    record.state_changes += 1
+                if self._contracts is not None:
+                    self._contracts.begin_superstep(superstep, active, states)
 
-            if self._contracts is not None:
-                self._contracts.at_barrier(superstep, states)
-            states.update(new_states)
+                try:
+                    for u in active:
+                        ctx = PregelContext(
+                            self, u, superstep, inbox.get(u, []), states[u]
+                        )
+                        program.compute(ctx)
+                        record.active_vertices += 1
+                        record.compute_work += ctx._work
+                        record.worker_work[self.dgraph.worker_of(u)] += max(
+                            ctx._work, 1
+                        )
+                        if ctx._changed:
+                            new_states[u] = ctx._new_state
+                            record.state_changes += 1
 
-            # --- deliver messages (with combining, cost accounting) ----
-            outbox = self._outbox
-            if combiner is not None and outbox:
-                outbox = self._apply_combiner(combiner, outbox)
-            inbox = {}
-            queue_bytes = 0
-            for msg in outbox:
-                if not graph.has_vertex(msg.dest):
-                    continue  # racing with vertex deletion: drop
-                record.messages += 1
-                if self.dgraph.is_remote_pair(msg.source, msg.dest):
-                    record.remote_messages += 1
-                    record.bytes_sent += msg.wire_bytes()
-                queue_bytes += msg.wire_bytes()
-                inbox.setdefault(msg.dest, []).append(msg.payload)
+                    if injector is not None:
+                        # -- worker sweep: straggler delays (modelled time)
+                        for w in range(self.dgraph.num_workers):
+                            delay = injector.straggler_delay(superstep, w)
+                            if delay:
+                                metrics.recovery_straggler_s += delay
+                                metrics.wall_time_s += delay
+                        # -- barrier commit: crash detection
+                        crashed = injector.crashed_workers(
+                            superstep, range(self.dgraph.num_workers)
+                        )
+                        if crashed:
+                            failure = WorkerFailure(
+                                crashed[0], superstep,
+                                f"{len(crashed)} worker(s) crashed at the "
+                                "barrier",
+                            )
+                            failure.workers = crashed
+                            raise failure
+                except SyncRetryExhausted:
+                    raise  # unrecoverable: escalate to the caller
+                except WorkerFailure as failure:
+                    if checkpoint is None:
+                        raise  # not injected by us: no checkpoint to replay
+                    # rollback-and-replay: nothing committed.  The crashed
+                    # workers lost their received messages; re-fetch them
+                    # from the senders' outbox logs (charged as resync).
+                    crashed_set = set(getattr(failure, "workers",
+                                              [failure.worker]))
+                    metrics.recovery_crashes += len(crashed_set)
+                    metrics.recovery_replayed_supersteps += 1
+                    metrics.recovery_compute_work += record.compute_work
+                    for dest, payloads in inbox.items():
+                        if self.dgraph.worker_of(dest) in crashed_set:
+                            metrics.recovery_resync_bytes += inbox_bytes.get(
+                                dest, 0
+                            )
+                            metrics.recovery_resync_messages += len(payloads)
+                    active = checkpoint.restore(states)
+                    self._aggregators.reset_current()
+                    continue
 
-            metrics.observe(record, keep_record=keep_records)
-            self._aggregators.roll()
-            active = sorted(inbox)
-            superstep += 1
+                if self._contracts is not None:
+                    self._contracts.at_barrier(superstep, states)
+                for u in new_states:
+                    if u not in dirty:
+                        dirty[u] = states[u]
+                states.update(new_states)
 
-            # memory snapshot: structure + in-flight queue
-            if superstep == 1 or queue_bytes:
-                per_worker = self._memory_snapshot(program, states, inbox)
-                metrics.observe_memory(per_worker)
-                took_snapshot = True
+                # --- deliver messages (with combining, cost accounting) ----
+                outbox = self._outbox
+                if combiner is not None and outbox:
+                    outbox = self._apply_combiner(combiner, outbox)
+                if injector is not None:
+                    permuted = injector.permute(superstep, outbox)
+                    if permuted is not outbox:
+                        metrics.recovery_reorders += 1
+                        outbox = permuted
+                inbox = {}
+                inbox_bytes = {}
+                queue_bytes = 0
+                for msg in outbox:
+                    if not graph.has_vertex(msg.dest):
+                        continue  # racing with vertex deletion: drop
+                    wire = msg.wire_bytes()
+                    remote = self.dgraph.is_remote_pair(msg.source, msg.dest)
+                    if injector is not None and remote:
+                        drops = injector.sync_drops(
+                            superstep, msg.source, msg.dest
+                        )
+                        if drops:
+                            if drops > injector.max_retries:
+                                raise SyncRetryExhausted(
+                                    msg.source, msg.dest, drops, superstep
+                                )
+                            metrics.recovery_sync_retries += drops
+                            metrics.recovery_resync_bytes += drops * wire
+                            metrics.recovery_resync_messages += drops
+                            metrics.recovery_backoff_s += injector.backoff_time(
+                                drops
+                            )
+                        dups = injector.sync_duplicates(
+                            superstep, msg.source, msg.dest
+                        )
+                        if dups:
+                            # the receiver deduplicates by (source, seq);
+                            # only the wasted wire cost is real
+                            metrics.recovery_sync_duplicates += dups
+                            metrics.recovery_resync_bytes += dups * wire
+                            metrics.recovery_resync_messages += dups
+                    record.messages += 1
+                    if remote:
+                        record.remote_messages += 1
+                        record.bytes_sent += wire
+                    queue_bytes += wire
+                    inbox.setdefault(msg.dest, []).append(msg.payload)
+                    if injector is not None:
+                        inbox_bytes[msg.dest] = inbox_bytes.get(msg.dest, 0) + wire
+
+                metrics.observe(record, keep_record=keep_records)
+                self._aggregators.roll()
+                active = sorted(inbox)
+                superstep += 1
+
+                # memory snapshot: structure + in-flight queue
+                if superstep == 1 or queue_bytes:
+                    per_worker = self._memory_snapshot(program, states, inbox)
+                    metrics.observe_memory(per_worker)
+                    took_snapshot = True
+        except BaseException:
+            # leave no partial superstep behind: callers resuming from
+            # ``states`` (dynamic maintenance) see their run-entry values
+            for u, value in dirty.items():
+                states[u] = value
+            raise
 
         if self._contracts is not None:
             members = program.contract_members(states)

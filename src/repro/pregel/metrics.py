@@ -80,6 +80,32 @@ class RunMetrics:
     bytes_sent: int = 0
     state_changes: int = 0
     wall_time_s: float = 0.0
+    # -- recovery meter family (fault injection / recovery overhead) -----
+    # Logical meters above describe the *committed* computation and stay
+    # bit-identical whether or not faults were injected; everything a fault
+    # costs extra — replayed sweeps, re-shipped sync records, backoff and
+    # straggler time — is charged here so the overhead is measurable
+    # instead of hidden.
+    #: worker crashes detected and recovered at superstep barriers
+    recovery_crashes: int = 0
+    #: superstep attempts aborted and replayed after a crash
+    recovery_replayed_supersteps: int = 0
+    #: compute work of aborted superstep attempts (redundant on replay)
+    recovery_compute_work: int = 0
+    #: bytes re-shipped during recovery (retries, duplicates, guest rebuild)
+    recovery_resync_bytes: int = 0
+    #: remote records re-shipped during recovery
+    recovery_resync_messages: int = 0
+    #: failed sync-record attempts that were retried
+    recovery_sync_retries: int = 0
+    #: duplicated sync records discarded idempotently at the receiver
+    recovery_sync_duplicates: int = 0
+    #: supersteps whose sync/delivery order was adversarially permuted
+    recovery_reorders: int = 0
+    #: modelled wall time lost to straggling workers
+    recovery_straggler_s: float = 0.0
+    #: modelled wall time spent in retry exponential backoff
+    recovery_backoff_s: float = 0.0
     #: modelled peak bytes resident on the most-loaded worker
     peak_worker_memory_bytes: int = 0
     #: modelled total bytes across all workers
@@ -120,6 +146,16 @@ class RunMetrics:
         self.bytes_sent += other.bytes_sent
         self.state_changes += other.state_changes
         self.wall_time_s += other.wall_time_s
+        self.recovery_crashes += other.recovery_crashes
+        self.recovery_replayed_supersteps += other.recovery_replayed_supersteps
+        self.recovery_compute_work += other.recovery_compute_work
+        self.recovery_resync_bytes += other.recovery_resync_bytes
+        self.recovery_resync_messages += other.recovery_resync_messages
+        self.recovery_sync_retries += other.recovery_sync_retries
+        self.recovery_sync_duplicates += other.recovery_sync_duplicates
+        self.recovery_reorders += other.recovery_reorders
+        self.recovery_straggler_s += other.recovery_straggler_s
+        self.recovery_backoff_s += other.recovery_backoff_s
         self.peak_worker_memory_bytes = max(
             self.peak_worker_memory_bytes, other.peak_worker_memory_bytes
         )
@@ -175,9 +211,34 @@ class RunMetrics:
             total += superstep_latency_s
         return total
 
+    @property
+    def recovery_events(self) -> int:
+        """Total injected faults this meter recovered from."""
+        return (
+            self.recovery_crashes
+            + self.recovery_sync_retries
+            + self.recovery_sync_duplicates
+            + self.recovery_reorders
+        )
+
+    def recovery_summary(self) -> Dict[str, float]:
+        """The ``recovery_*`` meter family as a plain dict."""
+        return {
+            "recovery_crashes": self.recovery_crashes,
+            "recovery_replayed_supersteps": self.recovery_replayed_supersteps,
+            "recovery_compute_work": self.recovery_compute_work,
+            "recovery_resync_bytes": self.recovery_resync_bytes,
+            "recovery_resync_messages": self.recovery_resync_messages,
+            "recovery_sync_retries": self.recovery_sync_retries,
+            "recovery_sync_duplicates": self.recovery_sync_duplicates,
+            "recovery_reorders": self.recovery_reorders,
+            "recovery_straggler_s": round(self.recovery_straggler_s, 6),
+            "recovery_backoff_s": round(self.recovery_backoff_s, 6),
+        }
+
     def summary(self) -> Dict[str, float]:
         """Plain-dict summary used by the benchmark reporters."""
-        return {
+        summary = {
             "supersteps": self.supersteps,
             "active_vertices": self.active_vertices,
             "compute_work": self.compute_work,
@@ -188,6 +249,8 @@ class RunMetrics:
             "wall_time_s": round(self.wall_time_s, 6),
             "state_changes": self.state_changes,
         }
+        summary.update(self.recovery_summary())
+        return summary
 
     def to_json(self, include_records: bool = False) -> str:
         """Serialize for run logging (dashboards, regression archives).

@@ -35,7 +35,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
 
-from repro.errors import SuperstepLimitExceeded
+from repro.errors import SuperstepLimitExceeded, SyncRetryExhausted, WorkerFailure
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -233,16 +233,22 @@ class ScaleGEngine:
     runs, and passes the previous run's states back in.
     """
 
-    def __init__(self, dgraph: "DistributedGraph", contracts=None):
+    def __init__(self, dgraph: "DistributedGraph", contracts=None, faults=None):
         """``contracts``: ``None`` defers to the ``REPRO_CONTRACTS`` env
         flag, ``True``/``False`` force runtime contract checking on/off, or
-        pass a :class:`~repro.analysis.runtime.ContractChecker` directly."""
+        pass a :class:`~repro.analysis.runtime.ContractChecker` directly.
+        ``faults``: a :class:`~repro.faults.plan.FaultPlan` or
+        :class:`~repro.faults.injector.FaultInjector` enabling seeded fault
+        injection + recovery; ``None`` (or an empty plan) leaves the hot
+        loop exactly as in the fault-free build."""
         from repro.analysis.runtime import resolve_contracts
+        from repro.faults.injector import resolve_faults
 
         self.dgraph = dgraph
         self._states: Dict[int, Any] = {}
         self._ranked: Optional[RankedAdjacency] = None
         self._contracts = resolve_contracts(contracts)
+        self._faults = resolve_faults(faults)
 
     def run(
         self,
@@ -252,6 +258,7 @@ class ScaleGEngine:
         states: Optional[Dict[int, Any]] = None,
         metrics: Optional[RunMetrics] = None,
         keep_records: bool = True,
+        faults=None,
     ) -> ScaleGResult:
         """Run ``program`` until no vertex is active.
 
@@ -260,7 +267,14 @@ class ScaleGEngine:
         ``metrics`` lets callers accumulate multiple runs into one meter.
         ``keep_records`` disables per-superstep record retention for very
         long update streams (the aggregate counters still accumulate).
+        ``faults`` overrides the engine's fault injector for this run.
+
+        Exception safety: if the run raises (:class:`SuperstepLimitExceeded`,
+        an unrecoverable :class:`WorkerFailure`, a contract violation), every
+        entry of ``states`` is restored to its value at run entry — no
+        partially converged superstep leaks into a caller's resumed states.
         """
+        from repro.faults.injector import resolve_faults
         graph = self.dgraph.graph
         own_metrics = metrics if metrics is not None else RunMetrics(
             num_workers=self.dgraph.num_workers
@@ -285,6 +299,9 @@ class ScaleGEngine:
         worker_of = dgraph.worker_of
         is_remote_pair = dgraph.is_remote_pair
         contracts = self._contracts
+        injector = resolve_faults(faults) if faults is not None else self._faults
+        if injector is not None:
+            injector.begin_run()
         # the O(active·deg) read-set sweep is only needed when the checker
         # actually snapshots (isolation on); otherwise skip it entirely
         check_isolation = contracts is not None and contracts.check_isolation
@@ -294,101 +311,192 @@ class ScaleGEngine:
 
         superstep = 0
         ran_supersteps = 0
-        while active:
-            if ran_supersteps >= max_supersteps:
-                raise SuperstepLimitExceeded(max_supersteps)
-            record = SuperstepRecord(superstep=superstep)
-            worker_work = record.worker_work = [0] * dgraph.num_workers
+        #: run-entry values of every state this run overwrote, restored if
+        #: the run raises (exception safety for resumed maintenance states)
+        dirty: Dict[int, Any] = {}
+        try:
+            while active:
+                if ran_supersteps >= max_supersteps:
+                    raise SuperstepLimitExceeded(max_supersteps)
+                record = SuperstepRecord(superstep=superstep)
+                worker_work = record.worker_work = [0] * dgraph.num_workers
 
-            if check_isolation:
-                read_set: Set[int] = set(active)
-                for u in active:
-                    read_set.update(graph.neighbors(u))
-                contracts.begin_superstep(superstep, read_set, states)
+                checkpoint = None
+                if injector is not None:
+                    from repro.faults.recovery import SuperstepCheckpoint
 
-            new_states: Dict[int, Any] = {}
-            changed: List[int] = []
-            forced: List[int] = []
-            #: (source, plain targets, predicated targets) per requesting
-            #: vertex — no per-activation (src, dst, pred) tuples when no
-            #: predicate is registered
-            requests: List[Tuple[int, List[int], List[Tuple[int, Any]]]] = []
-            compute = program.compute
+                    checkpoint = SuperstepCheckpoint.capture(
+                        superstep, states, active, dgraph
+                    )
 
-            for u in active:
-                ctx._reset(u, superstep, states[u])
-                compute(ctx)
-                work = ctx._work
-                record.compute_work += work
-                worker_work[worker_of(u)] += work if work > 1 else 1
-                if ctx._changed:
-                    new_states[u] = ctx._new
-                    changed.append(u)
-                elif ctx._force_sync:
-                    forced.append(u)
-                if ctx._activations or ctx._pred_activations:
-                    requests.append((u, ctx._activations, ctx._pred_activations))
-                    ctx._activations = []
-                    ctx._pred_activations = []
-            record.active_vertices = len(active)
+                if check_isolation:
+                    read_set: Set[int] = set(active)
+                    for u in active:
+                        read_set.update(graph.neighbors(u))
+                    contracts.begin_superstep(superstep, read_set, states)
 
-            if contracts is not None:
-                contracts.at_barrier(superstep, states)
-            states.update(new_states)
+                new_states: Dict[int, Any] = {}
+                changed: List[int] = []
+                forced: List[int] = []
+                #: (source, plain targets, predicated targets) per requesting
+                #: vertex — no per-activation (src, dst, pred) tuples when no
+                #: predicate is registered
+                requests: List[Tuple[int, List[int], List[Tuple[int, Any]]]] = []
+                compute = program.compute
 
-            # --- charge state sync: once per (synced vertex, guest machine)
-            changed_set = set(changed)
-            record.state_changes = len(changed)
-            guest_machines = dgraph.guest_machines
-            sync_bytes = program.sync_bytes
-            for u in changed + forced:
-                payload = VERTEX_ID_BYTES + sync_bytes(states[u])
-                for _machine in guest_machines(u):
-                    record.remote_messages += 1
-                    record.bytes_sent += MESSAGE_OVERHEAD_BYTES + payload
-
-            # --- filter + charge activation routing, build next active ----
-            synced_set = changed_set.union(forced)
-            next_active: Set[int] = set()
-            has_vertex = graph.has_vertex
-            for source, plain, predicated in requests:
-                for target in plain:
-                    if not has_vertex(target):
-                        continue
-                    next_active.add(target)
-                    record.messages += 1
-                    if is_remote_pair(source, target):
-                        record.remote_messages += 1
-                        if source in synced_set:
-                            # piggybacked on the sync record already shipped
-                            # to the target's machine
-                            record.bytes_sent += ACTIVATION_ENTRY_BYTES
-                        else:
-                            record.bytes_sent += (
-                                MESSAGE_OVERHEAD_BYTES + VERTEX_ID_BYTES
+                try:
+                    for u in active:
+                        ctx._reset(u, superstep, states[u])
+                        compute(ctx)
+                        work = ctx._work
+                        record.compute_work += work
+                        worker_work[worker_of(u)] += work if work > 1 else 1
+                        if ctx._changed:
+                            new_states[u] = ctx._new
+                            changed.append(u)
+                        elif ctx._force_sync:
+                            forced.append(u)
+                        if ctx._activations or ctx._pred_activations:
+                            requests.append(
+                                (u, ctx._activations, ctx._pred_activations)
                             )
-                if not predicated:
+                            ctx._activations = []
+                            ctx._pred_activations = []
+                    record.active_vertices = len(active)
+
+                    if injector is not None:
+                        # -- worker sweep: straggler delays (modelled time)
+                        for w in range(dgraph.num_workers):
+                            delay = injector.straggler_delay(superstep, w)
+                            if delay:
+                                own_metrics.recovery_straggler_s += delay
+                                own_metrics.wall_time_s += delay
+                        # -- barrier commit: crash detection
+                        crashed = injector.crashed_workers(
+                            superstep, range(dgraph.num_workers)
+                        )
+                        if crashed:
+                            failure = WorkerFailure(
+                                crashed[0], superstep,
+                                f"{len(crashed)} worker(s) crashed at the "
+                                "barrier",
+                            )
+                            failure.workers = crashed
+                            raise failure
+                except SyncRetryExhausted:
+                    raise  # unrecoverable: escalate to the caller
+                except WorkerFailure as failure:
+                    if checkpoint is None:
+                        raise  # not injected by us: no checkpoint to replay
+                    # rollback-and-replay: nothing from this attempt has
+                    # committed; restore the barrier checkpoint, rebuild the
+                    # crashed workers' guest copies from host state, charge
+                    # everything to the recovery meters, and replay.
+                    from repro.faults.recovery import guest_rebuild_cost
+
+                    crashed = getattr(failure, "workers", [failure.worker])
+                    own_metrics.recovery_crashes += len(crashed)
+                    own_metrics.recovery_replayed_supersteps += 1
+                    own_metrics.recovery_compute_work += record.compute_work
+                    rebuild_bytes, rebuild_records = guest_rebuild_cost(
+                        dgraph, crashed, program.sync_bytes, checkpoint.states
+                    )
+                    own_metrics.recovery_resync_bytes += rebuild_bytes
+                    own_metrics.recovery_resync_messages += rebuild_records
+                    active = checkpoint.restore(states)
                     continue
-                source_state = states[source]
-                for target, predicate in predicated:
-                    if not has_vertex(target):
-                        continue
-                    if not predicate(source_state, states[target]):
-                        continue
-                    next_active.add(target)
-                    record.messages += 1
-                    if is_remote_pair(source, target):
+
+                if contracts is not None:
+                    contracts.at_barrier(superstep, states)
+                for u in new_states:
+                    if u not in dirty:
+                        dirty[u] = states[u]
+                states.update(new_states)
+
+                # --- charge state sync: once per (synced vertex, guest machine)
+                changed_set = set(changed)
+                record.state_changes = len(changed)
+                guest_machines = dgraph.guest_machines
+                sync_bytes = program.sync_bytes
+                sync_order = changed + forced
+                if injector is not None:
+                    permuted = injector.permute(superstep, sync_order)
+                    if permuted is not sync_order:
+                        own_metrics.recovery_reorders += 1
+                        sync_order = permuted
+                for u in sync_order:
+                    payload = VERTEX_ID_BYTES + sync_bytes(states[u])
+                    for _machine in guest_machines(u):
+                        wire = MESSAGE_OVERHEAD_BYTES + payload
+                        if injector is not None:
+                            drops = injector.sync_drops(superstep, u, _machine)
+                            if drops:
+                                if drops > injector.max_retries:
+                                    raise SyncRetryExhausted(
+                                        u, _machine, drops, superstep
+                                    )
+                                own_metrics.recovery_sync_retries += drops
+                                own_metrics.recovery_resync_bytes += drops * wire
+                                own_metrics.recovery_resync_messages += drops
+                                own_metrics.recovery_backoff_s += (
+                                    injector.backoff_time(drops)
+                                )
+                            dups = injector.sync_duplicates(superstep, u, _machine)
+                            if dups:
+                                own_metrics.recovery_sync_duplicates += dups
+                                own_metrics.recovery_resync_bytes += dups * wire
+                                own_metrics.recovery_resync_messages += dups
                         record.remote_messages += 1
-                        if source in synced_set:
-                            record.bytes_sent += ACTIVATION_ENTRY_BYTES
-                        else:
-                            record.bytes_sent += (
-                                MESSAGE_OVERHEAD_BYTES + VERTEX_ID_BYTES
-                            )
-            own_metrics.observe(record, keep_record=keep_records)
-            active = sorted(next_active)
-            superstep += 1
-            ran_supersteps += 1
+                        record.bytes_sent += wire
+
+                # --- filter + charge activation routing, build next active ----
+                synced_set = changed_set.union(forced)
+                next_active: Set[int] = set()
+                has_vertex = graph.has_vertex
+                for source, plain, predicated in requests:
+                    for target in plain:
+                        if not has_vertex(target):
+                            continue
+                        next_active.add(target)
+                        record.messages += 1
+                        if is_remote_pair(source, target):
+                            record.remote_messages += 1
+                            if source in synced_set:
+                                # piggybacked on the sync record already shipped
+                                # to the target's machine
+                                record.bytes_sent += ACTIVATION_ENTRY_BYTES
+                            else:
+                                record.bytes_sent += (
+                                    MESSAGE_OVERHEAD_BYTES + VERTEX_ID_BYTES
+                                )
+                    if not predicated:
+                        continue
+                    source_state = states[source]
+                    for target, predicate in predicated:
+                        if not has_vertex(target):
+                            continue
+                        if not predicate(source_state, states[target]):
+                            continue
+                        next_active.add(target)
+                        record.messages += 1
+                        if is_remote_pair(source, target):
+                            record.remote_messages += 1
+                            if source in synced_set:
+                                record.bytes_sent += ACTIVATION_ENTRY_BYTES
+                            else:
+                                record.bytes_sent += (
+                                    MESSAGE_OVERHEAD_BYTES + VERTEX_ID_BYTES
+                                )
+                own_metrics.observe(record, keep_record=keep_records)
+                active = sorted(next_active)
+                superstep += 1
+                ran_supersteps += 1
+        except BaseException:
+            # leave no partial superstep behind: callers resuming from
+            # ``states`` (dynamic maintenance) see their run-entry values
+            for u, value in dirty.items():
+                states[u] = value
+            raise
 
         if self._contracts is not None:
             members = program.contract_members(states)

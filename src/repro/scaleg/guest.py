@@ -52,6 +52,20 @@ class InvertedActivationIndex:
         return len(self._targets)
 
 
+def guest_vertices_on(dgraph: DistributedGraph, worker: int) -> List[int]:
+    """Vertices (hosted elsewhere) with a guest copy on ``worker``.
+
+    This is exactly the replica set a crash of ``worker`` destroys; the
+    recovery path (:mod:`repro.faults.recovery`) rebuilds each copy from the
+    owning vertex's host state.  Served straight from the guest directory —
+    no graph scan per query beyond the vertex sweep.
+    """
+    return sorted(
+        u for u in dgraph.graph.vertices()
+        if dgraph.worker_of(u) != worker and worker in dgraph.guest_machines(u)
+    )
+
+
 def build_all_indexes(dgraph: DistributedGraph) -> Dict[int, InvertedActivationIndex]:
     """One inverted index per worker."""
     return {

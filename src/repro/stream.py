@@ -43,6 +43,9 @@ class WindowReport:
     wall_time_s: float = 0.0
     #: timestamp of the first event in the window (None when untimed)
     started_at: Optional[float] = None
+    #: the window's apply raised: nothing committed, its events are still
+    #: buffered in the session, and ``set_size`` is the pre-flush size
+    failed: bool = False
 
     @property
     def churn(self) -> int:
@@ -100,7 +103,8 @@ class StreamingSession:
 
     @property
     def windows_flushed(self) -> int:
-        return len(self.history)
+        """Successfully applied windows (failed attempts don't count)."""
+        return sum(1 for r in self.history if not r.failed)
 
     def independent_set(self) -> Set[int]:
         """The maintained set as of the last flush (buffered ops excluded)."""
@@ -147,16 +151,40 @@ class StreamingSession:
         return reports
 
     def flush(self) -> Optional[WindowReport]:
-        """Apply the buffered window now; returns its report (None if empty)."""
+        """Apply the buffered window now; returns its report (None if empty).
+
+        Atomic: if the maintainer's ``apply_batch`` raises (invalid
+        operation, superstep-limit blowup, exhausted sync retries under
+        fault injection), the buffered events stay queued, the session
+        remains usable — the next :meth:`flush` retries the same window —
+        and a report with :attr:`WindowReport.failed` set is recorded in
+        :attr:`history` before the exception propagates.
+        """
         if not self._buffer:
             return None
         metrics = self.maintainer.update_metrics
         before = (metrics.supersteps, metrics.bytes_sent, metrics.wall_time_s)
-        ops = self._buffer
-        self._buffer = []
+        ops = list(self._buffer)
         started_at = self._window_start_ts
+        try:
+            self.maintainer.apply_batch(ops)
+        except BaseException:
+            # the maintainer rolled back (apply_batch is atomic); keep the
+            # buffer so the caller may drop/repair/retry the window
+            report = WindowReport(
+                index=len(self.history),
+                operations=len(ops),
+                set_size=len(self._membership),
+                wall_time_s=metrics.wall_time_s - before[2],
+                started_at=started_at,
+                failed=True,
+            )
+            self.history.append(report)
+            if self.on_window is not None:
+                self.on_window(report)
+            raise
+        self._buffer = []
         self._window_start_ts = None
-        self.maintainer.apply_batch(ops)
         current = set(self.maintainer.independent_set())
         report = WindowReport(
             index=len(self.history),
@@ -192,12 +220,15 @@ class StreamingSession:
 
     # ------------------------------------------------------------------
     def totals(self) -> dict:
-        """Aggregate statistics across all flushed windows."""
+        """Aggregate statistics across flushed windows (failed attempts
+        contribute only to ``failed_windows`` — their events never applied)."""
+        applied = [r for r in self.history if not r.failed]
         return {
-            "windows": len(self.history),
-            "operations": sum(r.operations for r in self.history),
-            "churn": sum(r.churn for r in self.history),
-            "supersteps": sum(r.supersteps for r in self.history),
-            "communication_mb": sum(r.communication_mb for r in self.history),
-            "wall_time_s": sum(r.wall_time_s for r in self.history),
+            "windows": len(applied),
+            "failed_windows": len(self.history) - len(applied),
+            "operations": sum(r.operations for r in applied),
+            "churn": sum(r.churn for r in applied),
+            "supersteps": sum(r.supersteps for r in applied),
+            "communication_mb": sum(r.communication_mb for r in applied),
+            "wall_time_s": sum(r.wall_time_s for r in applied),
         }

@@ -5,7 +5,7 @@ import io
 import pytest
 
 from repro import MISMaintainer
-from repro.errors import ReproError
+from repro.errors import CheckpointError, ReproError
 from repro.graph.generators import erdos_renyi
 from repro.graph.io import read_update_stream, write_update_stream
 from repro.graph.updates import EdgeDeletion, EdgeInsertion
@@ -84,7 +84,7 @@ class TestCheckpoint:
     def test_load_rejects_foreign_json(self, tmp_path):
         path = tmp_path / "other.json"
         path.write_text('{"hello": "world"}')
-        with pytest.raises(ReproError, match="not a repro MIS checkpoint"):
+        with pytest.raises(CheckpointError, match="not a repro-mis-checkpoint"):
             MISMaintainer.load(path)
 
     def test_load_verify_catches_tampering(self, tmp_path):
@@ -105,6 +105,78 @@ class TestCheckpoint:
         # verify=False trusts the file (documented escape hatch)
         restored = MISMaintainer.load(path, verify=False)
         assert restored.graph == m.graph
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointError, match="cannot load checkpoint"):
+            MISMaintainer.load(tmp_path / "nope.json")
+
+    def test_load_truncated_json(self, tmp_path):
+        g = erdos_renyi(20, 40, seed=7)
+        m = MISMaintainer(g, num_workers=2)
+        path = tmp_path / "ck.json"
+        m.save(path)
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])
+        with pytest.raises(CheckpointError, match="truncated or corrupt JSON"):
+            MISMaintainer.load(path)
+
+    def test_load_rejects_future_version(self, tmp_path):
+        import json
+
+        g = erdos_renyi(20, 40, seed=7)
+        m = MISMaintainer(g, num_workers=2)
+        path = tmp_path / "ck.json"
+        m.save(path)
+        payload = json.loads(path.read_text())
+        payload["version"] = 99
+        path.write_text(json.dumps(payload))
+        with pytest.raises(CheckpointError, match="version 99"):
+            MISMaintainer.load(path)
+        payload["version"] = "1"  # wrong type counts as unsupported too
+        path.write_text(json.dumps(payload))
+        with pytest.raises(CheckpointError, match="unsupported checkpoint version"):
+            MISMaintainer.load(path)
+
+    def test_load_rejects_negative_vertex_ids(self, tmp_path):
+        import json
+
+        g = erdos_renyi(20, 40, seed=7)
+        m = MISMaintainer(g, num_workers=2)
+        path = tmp_path / "ck.json"
+        m.save(path)
+        payload = json.loads(path.read_text())
+        payload["vertices"].append(-3)
+        path.write_text(json.dumps(payload))
+        with pytest.raises(CheckpointError, match="negative vertex id"):
+            MISMaintainer.load(path)
+
+    def test_load_malformed_payload_is_clean(self, tmp_path):
+        import json
+
+        g = erdos_renyi(20, 40, seed=7)
+        m = MISMaintainer(g, num_workers=2)
+        path = tmp_path / "ck.json"
+        m.save(path)
+        payload = json.loads(path.read_text())
+        del payload["edges"]
+        path.write_text(json.dumps(payload))
+        # a missing key surfaces as CheckpointError, never a bare KeyError
+        with pytest.raises(CheckpointError, match="malformed payload"):
+            MISMaintainer.load(path)
+        assert issubclass(CheckpointError, ReproError)
+
+    def test_load_rejects_bad_worker_count(self, tmp_path):
+        import json
+
+        g = erdos_renyi(20, 40, seed=7)
+        m = MISMaintainer(g, num_workers=2)
+        path = tmp_path / "ck.json"
+        m.save(path)
+        payload = json.loads(path.read_text())
+        payload["num_workers"] = 0
+        path.write_text(json.dumps(payload))
+        with pytest.raises(CheckpointError, match="num_workers"):
+            MISMaintainer.load(path)
 
     def test_isolated_vertices_survive_checkpoint(self, tmp_path):
         from repro.graph.dynamic_graph import DynamicGraph

@@ -137,3 +137,91 @@ class TestInfoCommands:
     def test_bench_fig13(self, capsys):
         assert main(["bench", "fig13"]) == 0
         assert "experiment fig13" in capsys.readouterr().out
+
+
+class TestCheckpointEvery:
+    def test_periodic_checkpoints_written(self, graph_file, updates_file,
+                                          tmp_path, capsys):
+        path, _ = graph_file
+        ck = tmp_path / "ck.json"
+        code = main(["maintain", updates_file, "--graph", path,
+                     "--batch-size", "10", "--workers", "4",
+                     "--checkpoint", str(ck), "--checkpoint-every", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        # 40 ops / batch 10 = 4 batches, each followed by a save
+        assert out.count("checkpoint written to") == 4 + 1  # + final save
+
+    def test_requires_checkpoint_path(self, graph_file, updates_file):
+        path, _ = graph_file
+        with pytest.raises(SystemExit):
+            main(["maintain", updates_file, "--graph", path,
+                  "--checkpoint-every", "2"])
+
+    def test_mid_stream_checkpoint_resumes(self, tmp_path, capsys):
+        """A stream that dies mid-way leaves the last periodic checkpoint on
+        disk; resuming from it with the remaining updates converges to the
+        same set as replaying the whole valid stream in one go."""
+        from repro.graph.io import read_update_stream
+
+        graph = erdos_renyi(50, 150, seed=4)
+        graph_path = tmp_path / "g.txt"
+        write_edge_list(graph, graph_path)
+        ops = delete_reinsert_workload(graph, 12, seed=3)  # 24 valid ops
+        # poison the stream after the first 12 ops: deleting a missing edge
+        from repro.graph.updates import EdgeDeletion
+
+        missing = EdgeDeletion(9999, 9998)
+        broken = ops[:12] + [missing] + ops[12:]
+        broken_path = tmp_path / "broken.txt"
+        write_update_stream(broken, broken_path)
+        ck = tmp_path / "ck.json"
+        code = main(["maintain", str(broken_path), "--graph", str(graph_path),
+                     "--batch-size", "4", "--workers", "4",
+                     "--checkpoint", str(ck), "--checkpoint-every", "1"])
+        assert code == 1  # the poisoned batch fails...
+        assert "error:" in capsys.readouterr().err
+        # ...but the checkpoint holds the state after the last good batch
+        payload = json.loads(ck.read_text())
+        assert payload["updates_applied"] == 12
+        rest_path = tmp_path / "rest.txt"
+        write_update_stream(ops[12:], rest_path)
+        out_resumed = tmp_path / "resumed.txt"
+        code = main(["maintain", str(rest_path), "--resume", str(ck),
+                     "--batch-size", "4", "--verify",
+                     "-o", str(out_resumed)])
+        assert code == 0
+        # straight-through replay of the valid stream for comparison
+        straight_path = tmp_path / "straight.txt"
+        write_update_stream(ops, straight_path)
+        out_straight = tmp_path / "straight_members.txt"
+        assert main(["maintain", str(straight_path), "--graph",
+                     str(graph_path), "--batch-size", "4", "--workers", "4",
+                     "-o", str(out_straight)]) == 0
+        assert out_resumed.read_text() == out_straight.read_text()
+
+
+class TestChaosCommand:
+    def test_single_preset_table(self, capsys):
+        assert main(["chaos", "--preset", "crash", "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "fig10_single_AM" in out and "fig11_batch_SL" in out
+        assert "convergence" not in out or "ok:" in out
+        assert "FAIL" not in out
+
+    def test_json_format(self, capsys):
+        assert main(["chaos", "--preset", "none", "--format", "json"]) == 0
+        results = json.loads(capsys.readouterr().out)
+        assert len(results) == 2  # two workloads x one preset x one seed
+        assert all(r["ok"] for r in results)
+        assert all(sum(r["injected"].values()) == 0 for r in results)
+
+    def test_unknown_preset_is_clean_error(self, capsys):
+        assert main(["chaos", "--preset", "explode"]) == 1
+        assert "unknown chaos preset" in capsys.readouterr().err
+
+    def test_bench_chaos_driver(self, capsys):
+        assert main(["bench", "chaos"]) == 0
+        out = capsys.readouterr().out
+        assert "experiment chaos" in out
+        assert "FAIL" not in out

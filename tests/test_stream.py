@@ -169,3 +169,66 @@ class TestCallbacksAndLifecycle:
         assert session.independent_set() == weighted_greedy_mis(
             session.maintainer.graph, session.maintainer.weights
         )
+
+
+class TestAtomicFlush:
+    def _faulted_session(self, window_size=2):
+        # drop every sync record with a zero retry budget: the first window
+        # that needs a guest sync raises SyncRetryExhausted mid-flush
+        from repro.core.doimis import DOIMISMaintainer
+        from repro.faults import FaultInjector, FaultPlan
+
+        g = path_graph(4)
+        reference = MISMaintainer(g.copy(), num_workers=2)
+        states = {u: reference.contains(u) for u in g.vertices()}
+        injector = FaultInjector(FaultPlan(seed=1, drop_prob=1.0),
+                                 max_retries=0)
+        maintainer = DOIMISMaintainer(
+            g.copy(), num_workers=2, resume_states=states, faults=injector,
+        )
+        return StreamingSession(maintainer, window_size=window_size)
+
+    def test_failed_flush_retains_buffer(self):
+        from repro.errors import SyncRetryExhausted
+
+        session = self._faulted_session(window_size=2)
+        before_set = session.independent_set()
+        session.offer(EdgeDeletion(0, 1))
+        with pytest.raises(SyncRetryExhausted):
+            session.offer(EdgeDeletion(2, 3))  # fills the window -> flush
+        # events retained, membership unchanged, session usable: the next
+        # offer refills past the window and retries the same flush
+        assert session.pending == 2
+        assert session.independent_set() == before_set
+        with pytest.raises(SyncRetryExhausted):
+            session.offer(EdgeInsertion(1, 3))
+        assert session.pending == 3  # nothing lost across retries
+
+    def test_failed_flush_recorded_in_history(self):
+        from repro.errors import SyncRetryExhausted
+
+        seen = []
+        session = self._faulted_session(window_size=2)
+        session.on_window = seen.append
+        session.offer(EdgeDeletion(0, 1))
+        with pytest.raises(SyncRetryExhausted):
+            session.offer(EdgeDeletion(2, 3))
+        assert len(session.history) == 1
+        report = session.history[0]
+        assert report.failed
+        assert report.operations == 2
+        assert report.churn == 0
+        assert seen == [report]
+        # failed attempts are excluded from flushed-window accounting
+        assert session.windows_flushed == 0
+        totals = session.totals()
+        assert totals["windows"] == 0
+        assert totals["failed_windows"] == 1
+        assert totals["operations"] == 0
+
+    def test_successful_windows_unaffected(self):
+        session = _session(window_size=2)
+        session.offer(EdgeDeletion(0, 1))
+        report = session.offer(EdgeDeletion(2, 3))
+        assert report is not None and not report.failed
+        assert session.totals()["failed_windows"] == 0
