@@ -406,8 +406,9 @@ def chaos_oracle(seeds: Sequence[int] = (0,)) -> List[Dict]:
     """One row per (workload, preset, seed) chaos case.
 
     DOIMIS under seeded faults (crashes, drops, duplicates, stragglers,
-    reorders) must converge to the *same* set with the *same* logical meters
-    as the fault-free run — ``verdict`` is "ok" exactly when it did.
+    reorders, permanent worker losses, silent guest-copy corruption) must
+    converge to the *same* set with the *same* logical meters as the
+    fault-free run — ``verdict`` is "ok" exactly when it did.
     """
     from repro.faults.chaos import chaos_suite
 
@@ -422,8 +423,14 @@ def chaos_oracle(seeds: Sequence[int] = (0,)) -> List[Dict]:
                 "recovery_crashes": int(
                     result.recovery.get("recovery_crashes", 0)
                 ),
+                "recovery_failovers": int(
+                    result.recovery.get("recovery_failovers", 0)
+                ),
                 "recovery_resync_bytes": int(
                     result.recovery.get("recovery_resync_bytes", 0)
+                ),
+                "divergence_detected": int(
+                    result.divergence.get("divergence_detected", 0)
                 ),
                 "verdict": "ok" if result.ok else "FAIL",
             }

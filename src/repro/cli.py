@@ -103,12 +103,15 @@ def _cmd_compute(args: argparse.Namespace) -> int:
 
 def _cmd_maintain(args: argparse.Namespace) -> int:
     if args.resume:
-        maintainer = MISMaintainer.load(args.resume)
+        # an explicit --workers must match the checkpoint's partitioning —
+        # load() raises CheckpointError("partition mismatch: ...") otherwise
+        maintainer = MISMaintainer.load(args.resume, num_workers=args.workers)
         print(f"resumed checkpoint: {maintainer.graph}, |M|={len(maintainer)}")
     else:
         graph = read_edge_list(args.graph)
         maintainer = MISMaintainer(
-            graph, num_workers=args.workers,
+            graph,
+            num_workers=args.workers if args.workers is not None else 10,
             strategy=_STRATEGIES[args.strategy],
         )
         print(f"loaded {maintainer.graph}; initial |M|={len(maintainer)}")
@@ -235,20 +238,38 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 
     presets = args.preset or list(chaos.PLAN_PRESETS)
     seeds = args.seed or list(range(args.seeds))
-    results = chaos.chaos_suite(presets=presets, seeds=seeds)
+    membership = None
+    if (args.phi_threshold is not None or args.audit_every is not None
+            or args.delta_log_depth is not None):
+        from repro.faults.membership import MembershipConfig
+
+        overrides = {}
+        if args.phi_threshold is not None:
+            overrides["phi_threshold"] = args.phi_threshold
+        if args.audit_every is not None:
+            overrides["audit_every"] = args.audit_every
+        if args.delta_log_depth is not None:
+            overrides["delta_log_depth"] = args.delta_log_depth
+        membership = MembershipConfig(**overrides)
+    results = chaos.chaos_suite(
+        presets=presets, seeds=seeds, membership=membership
+    )
     if args.format == "json":
         print(json.dumps([r.as_dict() for r in results], indent=2))
     else:
-        print(f"{'workload':20} {'preset':10} {'seed':>4} {'injected':>8} "
-              f"{'recovery':>8} {'verdict'}")
+        print(f"{'workload':20} {'preset':16} {'seed':>4} {'injected':>8} "
+              f"{'recovery':>8} {'repaired':>8} {'verdict'}")
         for r in results:
             recovery = int(r.recovery.get("recovery_crashes", 0)
+                           + r.recovery.get("recovery_failovers", 0)
                            + r.recovery.get("recovery_sync_retries", 0)
                            + r.recovery.get("recovery_sync_duplicates", 0)
                            + r.recovery.get("recovery_reorders", 0))
+            repaired = int(r.divergence.get("divergence_repaired", 0))
             verdict = "ok" if r.ok else "FAIL"
-            print(f"{r.workload:20} {r.preset:10} {r.seed:>4} "
-                  f"{r.injected_total:>8} {recovery:>8} {verdict}")
+            print(f"{r.workload:20} {r.preset:16} {r.seed:>4} "
+                  f"{r.injected_total:>8} {recovery:>8} {repaired:>8} "
+                  f"{verdict}")
             for failure in r.failures:
                 print(f"    - {failure}")
     bad = [r for r in results if not r.ok]
@@ -307,7 +328,11 @@ def build_parser() -> argparse.ArgumentParser:
     maintain = sub.add_parser("maintain", help="apply an update stream")
     maintain.add_argument("updates", help="update stream (ins/del u v lines)")
     maintain.add_argument("--graph", help="SNAP-style edge-list file to start from")
-    maintain.add_argument("--workers", type=int, default=10)
+    maintain.add_argument(
+        "--workers", type=int, default=None,
+        help="worker count (default 10; with --resume it must match the "
+        "checkpoint's partitioning)",
+    )
     maintain.add_argument("--strategy", choices=sorted(_STRATEGIES), default="ss")
     maintain.add_argument("--batch-size", type=int, default=1)
     maintain.add_argument("--verify", action="store_true")
@@ -351,7 +376,8 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument(
         "--preset", action="append", metavar="NAME",
         help="fault preset to run (repeatable; default: all — "
-        "none/crash/drop/duplicate/straggler/reorder/composed)",
+        "none/crash/drop/duplicate/straggler/reorder/composed/"
+        "worker-loss/cascading-loss/loss-under-stream/corrupt-guest)",
     )
     chaos.add_argument(
         "--seeds", type=int, default=1,
@@ -360,6 +386,20 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument(
         "--seed", action="append", type=int, metavar="S",
         help="run exactly this plan seed (repeatable; overrides --seeds)",
+    )
+    chaos.add_argument(
+        "--phi-threshold", type=float, default=None,
+        help="failure-detector suspicion threshold (default: 8.0)",
+    )
+    chaos.add_argument(
+        "--audit-every", type=int, default=None,
+        help="guest-copy anti-entropy sampling window in supersteps "
+        "(0 disables; default: 4)",
+    )
+    chaos.add_argument(
+        "--delta-log-depth", type=int, default=None,
+        help="uncompacted delta-log frames kept for solitary-vertex "
+        "reconstruction (default: 8)",
     )
     chaos.add_argument("--format", choices=("table", "json"), default="table")
     chaos.set_defaults(fn=_cmd_chaos)

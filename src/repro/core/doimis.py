@@ -68,6 +68,13 @@ class DOIMISMaintainer:
         :class:`~repro.faults.injector.FaultInjector` handed to the engine —
         every maintenance run then executes under seeded fault injection
         with recovery.  ``None`` (or an empty plan) is the fault-free build.
+    membership:
+        A :class:`~repro.faults.membership.MembershipConfig` or
+        :class:`~repro.faults.membership.FailoverCoordinator` handed to the
+        engine — permanent worker losses then fail over (partition
+        reassignment + guest-copy reconstruction) and the guest anti-entropy
+        auditor runs.  ``None`` auto-attaches a default coordinator exactly
+        when the fault plan schedules losses or guest corruption.
     """
 
     def __init__(
@@ -81,11 +88,14 @@ class DOIMISMaintainer:
         resume_states: Optional[Dict[int, bool]] = None,
         program: Optional[OIMISProgram] = None,
         faults=None,
+        membership=None,
     ):
         self._dgraph = DistributedGraph(
             graph, partitioner or HashPartitioner(num_workers)
         )
-        self._engine = ScaleGEngine(self._dgraph, faults=faults)
+        self._engine = ScaleGEngine(
+            self._dgraph, faults=faults, membership=membership
+        )
         self._program = program if program is not None else OIMISProgram(
             strategy=strategy, full_scan=full_scan
         )
@@ -123,6 +133,28 @@ class DOIMISMaintainer:
     @property
     def num_workers(self) -> int:
         return self._dgraph.num_workers
+
+    @property
+    def failover(self):
+        """The engine's failover coordinator (``None`` when neither the
+        fault plan nor the caller asked for membership tracking)."""
+        return self._engine.failover
+
+    def final_audit(self) -> int:
+        """Close-out anti-entropy sweep: audit every surviving guest copy.
+
+        Corruption injected too recently for its rotation slot is caught
+        and read-repaired here, so callers comparing guest copies against
+        host state at the end of a session see none diverged.  Costs land
+        on the ``divergence_*`` meters of :attr:`update_metrics`.  Returns
+        repairs made (0 without an attached coordinator).
+        """
+        failover = self._engine.failover
+        if failover is None:
+            return 0
+        return failover.final_audit(
+            self._states, self._program.sync_bytes, self.update_metrics
+        )
 
     def independent_set(self) -> Set[int]:
         """The currently maintained independent set ``{u | u.in}``."""

@@ -46,6 +46,7 @@ class MISMaintainer(DOIMISMaintainer):
         keep_records: bool = False,
         resume_states=None,
         faults=None,
+        membership=None,
     ):
         super().__init__(
             graph,
@@ -55,6 +56,7 @@ class MISMaintainer(DOIMISMaintainer):
             keep_records=keep_records,
             resume_states=resume_states,
             faults=faults,
+            membership=membership,
         )
 
     @classmethod
@@ -94,7 +96,8 @@ class MISMaintainer(DOIMISMaintainer):
             json.dump(payload, handle)
 
     @classmethod
-    def load(cls, path, verify: bool = True) -> "MISMaintainer":
+    def load(cls, path, verify: bool = True,
+             num_workers: Optional[int] = None, **kwargs) -> "MISMaintainer":
         """Restore a maintainer from a :meth:`save` checkpoint.
 
         Every way a checkpoint can be bad — missing file, truncated or
@@ -102,6 +105,16 @@ class MISMaintainer(DOIMISMaintainer):
         raises :class:`~repro.errors.CheckpointError` naming the path and
         the reason; callers never see a bare ``json.JSONDecodeError`` or
         ``KeyError``.
+
+        ``num_workers`` pins the cluster size the caller's engine is
+        configured for: a checkpoint saved under a different worker count
+        raises ``CheckpointError("partition mismatch: ...")`` with both
+        counts instead of silently resuming onto the wrong partitioning
+        (host/guest directories would disagree with every meter and with a
+        failover coordinator's membership view).  ``None`` (the default)
+        adopts the checkpoint's own count.  Extra keyword arguments
+        (``faults``, ``membership``, ``partitioner``, ...) pass through to
+        the constructor.
         """
         import json
 
@@ -132,7 +145,7 @@ class MISMaintainer(DOIMISMaintainer):
             vertices = [int(u) for u in payload["vertices"]]
             edges = [(int(u), int(v)) for u, v in payload["edges"]]
             members = {int(u) for u in payload["independent_set"]}
-            num_workers = int(payload["num_workers"])
+            saved_workers = int(payload["num_workers"])
             strategy = ActivationStrategy(payload["strategy"])
             updates_applied = int(payload.get("updates_applied", 0))
         except (KeyError, TypeError, ValueError) as exc:
@@ -143,9 +156,15 @@ class MISMaintainer(DOIMISMaintainer):
             raise CheckpointError(
                 path, f"negative vertex id(s): {sorted(set(bad))[:5]}"
             )
-        if num_workers < 1:
+        if saved_workers < 1:
             raise CheckpointError(
-                path, f"num_workers must be >= 1, got {num_workers}"
+                path, f"num_workers must be >= 1, got {saved_workers}"
+            )
+        if num_workers is not None and num_workers != saved_workers:
+            raise CheckpointError(
+                path,
+                f"partition mismatch: checkpoint has {saved_workers} "
+                f"worker(s), engine configured for {num_workers}",
             )
         try:
             graph = DynamicGraph.from_edges(edges, vertices=vertices)
@@ -153,9 +172,10 @@ class MISMaintainer(DOIMISMaintainer):
             raise CheckpointError(path, f"invalid graph: {exc}") from exc
         maintainer = cls(
             graph,
-            num_workers=num_workers,
+            num_workers=saved_workers,
             strategy=strategy,
             resume_states={u: (u in members) for u in graph.vertices()},
+            **kwargs,
         )
         maintainer.updates_applied = updates_applied
         if verify:
@@ -176,9 +196,13 @@ class MISMaintainer(DOIMISMaintainer):
             "memory_mb": self.update_metrics.memory_mb,
             "wall_time_s": self.update_metrics.wall_time_s,
         }
-        # fault-recovery overhead accrues on whichever run was faulted
-        # (the initial static run or the update runs) — report the sum
+        # fault-recovery and anti-entropy overhead accrues on whichever run
+        # was faulted (the initial static run or the update runs) — report
+        # the sum
         init_recovery = self.init_metrics.recovery_summary()
         for name, value in self.update_metrics.recovery_summary().items():
             snapshot[name] = float(init_recovery[name] + value)
+        init_divergence = self.init_metrics.divergence_summary()
+        for name, value in self.update_metrics.divergence_summary().items():
+            snapshot[name] = float(init_divergence[name] + value)
         return snapshot

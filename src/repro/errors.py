@@ -91,6 +91,25 @@ class WorkerFailure(EngineError):
         self.reason = reason
 
 
+class WorkerLoss(WorkerFailure):
+    """A worker was declared permanently dead by the failure detector.
+
+    Unlike a transient crash (rollback and replay on the same worker set),
+    a loss removes the worker from the membership view for good: its
+    partition is reassigned to survivors and every lost host vertex is
+    reconstructed from the freshest surviving guest copy (or the delta
+    log).  The engines *handle* injected losses internally through the
+    :class:`~repro.faults.membership.FailoverCoordinator`; this exception
+    escalates only when failover is impossible — no membership subsystem
+    attached, or no barrier checkpoint to reconstruct from.
+    """
+
+    def __init__(self, worker: "int | None", superstep: "int | None", reason: str):
+        super().__init__(worker, superstep, reason)
+        #: all workers declared dead at this barrier (set by the raiser)
+        self.workers = [worker] if worker is not None else []
+
+
 class SyncRetryExhausted(WorkerFailure):
     """A guest-sync record kept being dropped past the retry budget.
 

@@ -6,13 +6,17 @@ robustness oracle: the maintained set is the *unique* greedy fixpoint of
 **bit-identical** to the fault-free run.  This package supplies:
 
 - :class:`~repro.faults.plan.FaultPlan` — seeded, reproducible schedules of
-  worker crashes, dropped/duplicated/reordered guest-sync records, and
-  straggler delays;
+  worker crashes, dropped/duplicated/reordered guest-sync records,
+  straggler delays, permanent worker losses, and silent guest-copy
+  corruption;
 - :class:`~repro.faults.injector.FaultInjector` — the runtime the engines
   consult at their interception points (sync emission, barrier commit,
   worker sweep), with consumption semantics and a retry policy;
 - :mod:`~repro.faults.recovery` — superstep checkpoints and the
   rollback-and-replay cost model (guest-table rebuild from host state);
+- :mod:`~repro.faults.membership` — the failure detector (phi-accrual
+  heartbeats), rendezvous partition reassignment, guest-copy host
+  reconstruction, the bounded delta log, and the anti-entropy auditor;
 - :mod:`~repro.faults.chaos` — the chaos harness behind ``repro-mis chaos``
   sweeping fault presets over the Fig. 10/11 workloads and asserting the
   convergence oracle.
@@ -20,9 +24,19 @@ robustness oracle: the maintained set is the *unique* greedy fixpoint of
 
 from repro.faults.chaos import PLAN_PRESETS, chaos_suite, run_chaos_case
 from repro.faults.injector import FaultInjector, FaultStats, resolve_faults
+from repro.faults.membership import (
+    FailoverCoordinator,
+    GuestAuditor,
+    MembershipConfig,
+    MembershipView,
+    rendezvous_worker,
+    resolve_membership,
+)
 from repro.faults.plan import (
+    CorruptGuestSpec,
     CrashSpec,
     FaultPlan,
+    LossSpec,
     ReorderSpec,
     StragglerSpec,
     SyncDropSpec,
@@ -31,10 +45,16 @@ from repro.faults.plan import (
 from repro.faults.recovery import SuperstepCheckpoint, guest_rebuild_cost
 
 __all__ = [
+    "CorruptGuestSpec",
     "CrashSpec",
+    "FailoverCoordinator",
     "FaultInjector",
     "FaultPlan",
     "FaultStats",
+    "GuestAuditor",
+    "LossSpec",
+    "MembershipConfig",
+    "MembershipView",
     "PLAN_PRESETS",
     "ReorderSpec",
     "StragglerSpec",
@@ -43,6 +63,8 @@ __all__ = [
     "SyncDuplicateSpec",
     "chaos_suite",
     "guest_rebuild_cost",
+    "rendezvous_worker",
     "resolve_faults",
+    "resolve_membership",
     "run_chaos_case",
 ]

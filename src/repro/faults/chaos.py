@@ -29,7 +29,7 @@ from repro.core.activation import ActivationStrategy
 from repro.core.doimis import DOIMISMaintainer
 from repro.errors import ReproError, WorkloadError
 from repro.faults.injector import FaultInjector
-from repro.faults.plan import FaultPlan
+from repro.faults.plan import FaultPlan, LossSpec
 
 #: fault-plan presets swept by ``repro-mis chaos`` — kwargs for
 #: :class:`FaultPlan` (the seed is supplied per case).  Probabilities are
@@ -52,6 +52,25 @@ PLAN_PRESETS: Dict[str, Dict[str, Any]] = {
         "straggler_delay_s": 0.01,
         "reorder_prob": 0.1,
     },
+    # a worker dies for good: the failure detector declares it dead at the
+    # barrier, its partition rendezvous-reassigns to survivors, and every
+    # lost host vertex reconstructs from the freshest surviving guest copy
+    "worker-loss": {"loss_prob": 0.002},
+    # many workers die across the stream (the injector never kills the last
+    # survivor) — rendezvous reassignment must compose across deaths, and
+    # reconstruction must survive a host dying together with its replicas
+    "cascading-loss": {"loss_prob": 0.008},
+    # losses pinned to mid-stream maintenance runs: failover interleaves
+    # with the update protocol, not just the initial static computation
+    "loss-under-stream": {
+        "losses": (
+            LossSpec(superstep=0, worker=2, run=3),
+            LossSpec(superstep=0, worker=7, run=6),
+        ),
+    },
+    # guest copies silently diverge from host state after a sync — only the
+    # anti-entropy auditor (sampled checksums + read-repair) can see it
+    "corrupt-guest": {"corrupt_prob": 0.02},
 }
 
 
@@ -120,6 +139,7 @@ class ChaosCaseResult:
     seed: int
     injected: Dict[str, int] = field(default_factory=dict)
     recovery: Dict[str, float] = field(default_factory=dict)
+    divergence: Dict[str, int] = field(default_factory=dict)
     failures: List[str] = field(default_factory=list)
 
     @property
@@ -138,6 +158,7 @@ class ChaosCaseResult:
             "ok": self.ok,
             "injected": dict(self.injected),
             "recovery": dict(self.recovery),
+            "divergence": dict(self.divergence),
             "failures": list(self.failures),
         }
 
@@ -157,7 +178,7 @@ def _logical_fingerprint(metrics) -> Dict[str, int]:
 
 
 def _run_maintenance(
-    workload: ChaosWorkload, faults=None
+    workload: ChaosWorkload, faults=None, membership=None
 ) -> Tuple[DOIMISMaintainer, Any]:
     graph, ops = _build_case(workload)
     maintainer = DOIMISMaintainer(
@@ -165,6 +186,7 @@ def _run_maintenance(
         num_workers=10,
         strategy=ActivationStrategy.SAME_STATUS,
         faults=faults,
+        membership=membership,
     )
     maintainer.apply_stream(ops, batch_size=workload.batch_size)
     return maintainer, maintainer.update_metrics
@@ -185,12 +207,15 @@ def run_chaos_case(
     preset: str,
     seed: int,
     reference: Optional[ChaosReference] = None,
+    membership=None,
 ) -> ChaosCaseResult:
     """Replay ``workload`` under ``preset``'s seeded plan; check the oracle.
 
     ``reference`` lets a sweep reuse one fault-free run per workload; when
-    omitted it is computed here.  Never raises for an oracle violation —
-    failures are reported on the result so a sweep surveys the whole grid.
+    omitted it is computed here.  ``membership`` overrides the failover
+    tunables (losses and guest corruption auto-attach a default coordinator
+    otherwise).  Never raises for an oracle violation — failures are
+    reported on the result so a sweep surveys the whole grid.
     """
     if reference is None:
         reference = reference_run(workload)
@@ -199,13 +224,19 @@ def run_chaos_case(
     injector = FaultInjector(plan)
 
     try:
-        maintainer, metrics = _run_maintenance(workload, faults=injector)
+        maintainer, metrics = _run_maintenance(
+            workload, faults=injector, membership=membership
+        )
     except ReproError as exc:
         # SyncRetryExhausted (drops beyond the retry budget) is the one
         # *designed* escalation; anything else is an oracle failure outright
         result.injected = injector.stats.as_dict()
         result.failures.append(f"run raised {type(exc).__name__}: {exc}")
         return result
+
+    # close-out anti-entropy: corruption injected too recently for its
+    # rotation slot must still be caught before we compare observables
+    maintainer.final_audit()
 
     result.injected = injector.stats.as_dict()
     # faults fire during the initial static run too — its recovery charges
@@ -216,6 +247,21 @@ def run_chaos_case(
         name: init_recovery[name] + update_recovery[name]
         for name in update_recovery
     }
+    init_divergence = maintainer.init_metrics.divergence_summary()
+    update_divergence = metrics.divergence_summary()
+    result.divergence = {
+        name: init_divergence[name] + update_divergence[name]
+        for name in update_divergence
+    }
+
+    failover = maintainer.failover
+    if failover is not None:
+        leftover = failover.auditor.corrupted_pairs()
+        if leftover:
+            result.failures.append(
+                f"{len(leftover)} corrupted guest cop(ies) survived the "
+                f"final audit: {leftover[:5]}"
+            )
 
     members = sorted(maintainer.independent_set())
     if members != reference.members:
@@ -253,6 +299,11 @@ def run_chaos_case(
             result.failures.append(
                 f"empty plan charged recovery meters: {result.recovery}"
             )
+        divergence_total = sum(result.divergence.values())
+        if divergence_total:
+            result.failures.append(
+                f"empty plan charged divergence meters: {result.divergence}"
+            )
     return result
 
 
@@ -260,10 +311,12 @@ def chaos_suite(
     presets: Sequence[str] = (),
     seeds: Iterable[int] = (0,),
     workloads: Sequence[ChaosWorkload] = CHAOS_WORKLOADS,
+    membership=None,
 ) -> List[ChaosCaseResult]:
     """Sweep ``presets x seeds`` over ``workloads`` (reference once each).
 
-    Defaults to every preset in :data:`PLAN_PRESETS`.  Returns one
+    Defaults to every preset in :data:`PLAN_PRESETS`.  ``membership``
+    overrides the failover tunables for every case.  Returns one
     :class:`ChaosCaseResult` per case; callers decide whether any failure is
     fatal (``repro-mis chaos`` exits non-zero).
     """
@@ -280,6 +333,9 @@ def chaos_suite(
         for preset in selected:
             for seed in seeds:
                 results.append(
-                    run_chaos_case(workload, preset, seed, reference=reference)
+                    run_chaos_case(
+                        workload, preset, seed,
+                        reference=reference, membership=membership,
+                    )
                 )
     return results

@@ -39,11 +39,14 @@ class FaultStats:
     duplicates: int = 0
     reorders: int = 0
     stragglers: int = 0
+    losses: int = 0
+    corruptions: int = 0
 
     @property
     def total(self) -> int:
         return (self.crashes + self.drops + self.duplicates
-                + self.reorders + self.stragglers)
+                + self.reorders + self.stragglers + self.losses
+                + self.corruptions)
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -52,6 +55,8 @@ class FaultStats:
             "duplicates": self.duplicates,
             "reorders": self.reorders,
             "stragglers": self.stragglers,
+            "losses": self.losses,
+            "corruptions": self.corruptions,
         }
 
 
@@ -81,6 +86,13 @@ class FaultInjector:
         self.stats = FaultStats()
         self._run = -1
         self._fired: Set[Tuple] = set()
+        #: workers permanently lost so far (losses outlive replays AND runs:
+        #: a dead worker stays dead for the rest of the update stream)
+        self._dead: Set[int] = set()
+        #: a loss never reduces the cluster below this many survivors (the
+        #: last worker standing is unkillable — there would be nobody left
+        #: to reconstruct onto)
+        self.min_survivors = 1
 
     # ------------------------------------------------------------------
     @property
@@ -108,15 +120,55 @@ class FaultInjector:
     # ------------------------------------------------------------------
     # interception points
     # ------------------------------------------------------------------
+    @property
+    def dead_workers(self) -> Set[int]:
+        """Workers permanently lost so far (a copy)."""
+        return set(self._dead)
+
     def crashed_workers(self, superstep: int, workers: Sequence[int]) -> List[int]:
-        """Workers crashing at this superstep's barrier (each fires once)."""
+        """Workers crashing at this superstep's barrier (each fires once).
+
+        Dead workers cannot crash — they are gone, not slow.
+        """
         crashed = [
             w for w in workers
-            if self.plan.crash_at(self._run, superstep, w)
+            if w not in self._dead
+            and self.plan.crash_at(self._run, superstep, w)
             and self._once(("crash", self._run, superstep, w))
         ]
         self.stats.crashes += len(crashed)
         return crashed
+
+    def lost_workers(self, superstep: int, workers: Sequence[int]) -> List[int]:
+        """Workers permanently lost at this superstep's barrier.
+
+        Each loss fires once and is remembered forever (:attr:`dead_workers`
+        persists across replays and runs).  The schedule is clamped so at
+        least :attr:`min_survivors` workers always remain alive — killing
+        the last survivor would leave nobody to reconstruct onto, which no
+        real deployment survives either.
+        """
+        alive = [w for w in workers if w not in self._dead]
+        lost: List[int] = []
+        for w in alive:
+            if len(alive) - len(lost) <= self.min_survivors:
+                break
+            if (self.plan.lost_at(self._run, superstep, w)
+                    and self._once(("loss", self._run, superstep, w))):
+                lost.append(w)
+        self._dead.update(lost)
+        self.stats.losses += len(lost)
+        return lost
+
+    def corrupt_guest(self, superstep: int, vertex: int, machine: int) -> bool:
+        """Whether the guest copy ``vertex -> machine`` silently diverges
+        after this superstep's sync (fires once per coordinate)."""
+        if not self.plan.corrupt_guest_at(self._run, superstep, vertex, machine):
+            return False
+        if not self._once(("corrupt", self._run, superstep, vertex, machine)):
+            return False
+        self.stats.corruptions += 1
+        return True
 
     def sync_drops(self, superstep: int, vertex: int, machine: int) -> int:
         """Failed attempts for this sync record (0 = delivered first try)."""
@@ -135,7 +187,12 @@ class FaultInjector:
         return 0
 
     def straggler_delay(self, superstep: int, worker: int) -> float:
-        """Modelled extra seconds worker ``worker`` takes this sweep."""
+        """Modelled extra seconds worker ``worker`` takes this sweep.
+
+        Dead workers do not straggle (there is no sweep to slow down).
+        """
+        if worker in self._dead:
+            return 0.0
         delay = self.plan.straggler_delay(self._run, superstep, worker)
         if delay and self._once(("straggle", self._run, superstep, worker)):
             self.stats.stragglers += 1

@@ -102,6 +102,34 @@ class ReorderSpec:
     run: Optional[int] = None
 
 
+@dataclass(frozen=True)
+class LossSpec:
+    """Worker ``worker`` dies *permanently* at the barrier of ``superstep``.
+
+    Unlike :class:`CrashSpec` (transient: rollback and replay on the same
+    worker set), a loss removes the worker from the cluster for the rest of
+    the update stream — its partition is reassigned to survivors and its
+    host vertices reconstructed from surviving guest copies (see
+    :mod:`repro.faults.membership`).
+    """
+
+    superstep: int
+    worker: int
+    run: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class CorruptGuestSpec:
+    """The guest copy ``vertex -> machine`` silently diverges from the host
+    state after this superstep's sync (a bit flip in the replica, not on the
+    wire — only the anti-entropy auditor can see it)."""
+
+    superstep: int
+    vertex: int
+    machine: Optional[int] = None
+    run: Optional[int] = None
+
+
 def _matches(spec_run: Optional[int], run: int) -> bool:
     return spec_run is None or spec_run == run
 
@@ -123,6 +151,10 @@ class FaultPlan:
     duplicate_prob: float = 0.0
     straggler_prob: float = 0.0
     reorder_prob: float = 0.0
+    #: per-(run, superstep, worker) probability of *permanent* worker loss
+    loss_prob: float = 0.0
+    #: per-sync-record probability of silent guest-copy corruption
+    corrupt_prob: float = 0.0
     #: seeded drops fail 1..max_drop_attempts times (drawn per record)
     max_drop_attempts: int = 2
     #: modelled delay of a seeded straggler event
@@ -132,10 +164,13 @@ class FaultPlan:
     duplicates: Tuple[SyncDuplicateSpec, ...] = field(default_factory=tuple)
     stragglers: Tuple[StragglerSpec, ...] = field(default_factory=tuple)
     reorders: Tuple[ReorderSpec, ...] = field(default_factory=tuple)
+    losses: Tuple[LossSpec, ...] = field(default_factory=tuple)
+    corruptions: Tuple[CorruptGuestSpec, ...] = field(default_factory=tuple)
 
     def __post_init__(self):
         for name in ("crash_prob", "drop_prob", "duplicate_prob",
-                     "straggler_prob", "reorder_prob"):
+                     "straggler_prob", "reorder_prob", "loss_prob",
+                     "corrupt_prob"):
             p = getattr(self, name)
             if not (0.0 <= p <= 1.0):
                 raise WorkloadError(f"{name} must be in [0, 1], got {p}")
@@ -145,7 +180,8 @@ class FaultPlan:
                 f"got {self.max_drop_attempts}"
             )
         # normalize sequences to tuples so plans stay hashable/frozen
-        for name in ("crashes", "drops", "duplicates", "stragglers", "reorders"):
+        for name in ("crashes", "drops", "duplicates", "stragglers",
+                     "reorders", "losses", "corruptions"):
             value = getattr(self, name)
             if not isinstance(value, tuple):
                 object.__setattr__(self, name, tuple(value))
@@ -157,9 +193,23 @@ class FaultPlan:
         return not (
             self.crash_prob or self.drop_prob or self.duplicate_prob
             or self.straggler_prob or self.reorder_prob
+            or self.loss_prob or self.corrupt_prob
             or self.crashes or self.drops or self.duplicates
             or self.stragglers or self.reorders
+            or self.losses or self.corruptions
         )
+
+    @property
+    def schedules_loss(self) -> bool:
+        """Whether this plan can declare a worker permanently dead (the
+        engines auto-attach a default membership subsystem when so)."""
+        return bool(self.loss_prob or self.losses)
+
+    @property
+    def schedules_corruption(self) -> bool:
+        """Whether this plan can corrupt guest copies (the engines
+        auto-enable the anti-entropy auditor when so)."""
+        return bool(self.corrupt_prob or self.corruptions)
 
     # ------------------------------------------------------------------
     # keyed deterministic draws
@@ -230,3 +280,29 @@ class FaultPlan:
     def reorder_seed(self, run: int, superstep: int) -> int:
         """Seed for the permutation applied when :meth:`reorder_at` fires."""
         return int(self._draw("reorder-perm", run, superstep) * (1 << 32))
+
+    def lost_at(self, run: int, superstep: int, worker: int) -> bool:
+        """Does ``worker`` die permanently at this superstep's barrier?"""
+        for spec in self.losses:
+            if (spec.superstep == superstep and spec.worker == worker
+                    and _matches(spec.run, run)):
+                return True
+        if self.loss_prob:
+            return self._draw("loss", run, superstep, worker) < self.loss_prob
+        return False
+
+    def corrupt_guest_at(self, run: int, superstep: int, vertex: int,
+                         machine: int) -> bool:
+        """Does the guest copy ``vertex -> machine`` silently diverge after
+        this superstep's sync?"""
+        for spec in self.corruptions:
+            if (spec.superstep == superstep and spec.vertex == vertex
+                    and _matches(spec.run, run)
+                    and (spec.machine is None or spec.machine == machine)):
+                return True
+        if self.corrupt_prob:
+            return (
+                self._draw("corrupt", run, superstep, vertex, machine)
+                < self.corrupt_prob
+            )
+        return False

@@ -25,7 +25,12 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Set
 
-from repro.errors import SuperstepLimitExceeded, SyncRetryExhausted, WorkerFailure
+from repro.errors import (
+    SuperstepLimitExceeded,
+    SyncRetryExhausted,
+    WorkerFailure,
+    WorkerLoss,
+)
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -153,22 +158,38 @@ class PregelResult:
 class PregelEngine:
     """Executes a :class:`PregelProgram` over a :class:`DistributedGraph`."""
 
-    def __init__(self, dgraph: "DistributedGraph", contracts=None, faults=None):
+    def __init__(self, dgraph: "DistributedGraph", contracts=None, faults=None,
+                 membership=None):
         """``contracts``: ``None`` defers to the ``REPRO_CONTRACTS`` env
         flag, ``True``/``False`` force runtime contract checking on/off, or
         pass a :class:`~repro.analysis.runtime.ContractChecker` directly.
         ``faults``: a :class:`~repro.faults.plan.FaultPlan` or
         :class:`~repro.faults.injector.FaultInjector` enabling seeded fault
         injection + recovery; ``None`` (or an empty plan) leaves the run
-        loop exactly as in the fault-free build."""
+        loop exactly as in the fault-free build.
+        ``membership``: a :class:`~repro.faults.membership.MembershipConfig`
+        or :class:`~repro.faults.membership.FailoverCoordinator` enabling
+        permanent-loss failover (degraded: no guest copies exist here, so
+        lost partitions reload from the barrier checkpoint); ``None``
+        auto-attaches a default coordinator when the plan schedules
+        losses."""
         from repro.analysis.runtime import resolve_contracts
         from repro.faults.injector import resolve_faults
+        from repro.faults.membership import resolve_membership
 
         self.dgraph = dgraph
         self._outbox: List[Message] = []
         self._aggregators = AggregatorRegistry()
         self._contracts = resolve_contracts(contracts)
         self._faults = resolve_faults(faults)
+        self._membership = membership
+        self._failover = resolve_membership(membership, self._faults, dgraph)
+
+    @property
+    def failover(self):
+        """The attached failover coordinator (``None`` when neither the
+        fault plan nor the caller asked for membership tracking)."""
+        return self._failover
 
     def run(
         self,
@@ -223,7 +244,18 @@ class PregelEngine:
             active: List[int] = graph.sorted_vertices()
         else:
             active = sorted({u for u in initial_active if graph.has_vertex(u)})
-        injector = resolve_faults(faults) if faults is not None else self._faults
+        if faults is not None:
+            injector = resolve_faults(faults)
+            failover = self._failover
+            if failover is None:
+                from repro.faults.membership import resolve_membership
+
+                failover = resolve_membership(
+                    self._membership, injector, self.dgraph
+                )
+        else:
+            injector = self._faults
+            failover = self._failover
         if injector is not None:
             injector.begin_run()
 
@@ -272,12 +304,32 @@ class PregelEngine:
                             record.state_changes += 1
 
                     if injector is not None:
+                        if failover is not None:
+                            failover.view.advance()
                         # -- worker sweep: straggler delays (modelled time)
                         for w in range(self.dgraph.num_workers):
                             delay = injector.straggler_delay(superstep, w)
                             if delay:
                                 metrics.recovery_straggler_s += delay
                                 metrics.wall_time_s += delay
+                            if failover is not None and not failover.is_dead(w):
+                                # flagged straggler delays never count
+                                # toward suspicion (slow is not dead)
+                                failover.view.heartbeat(
+                                    w, delay_s=delay, injected=True
+                                )
+                        # -- barrier: permanent losses (silence, not delay)
+                        lost = injector.lost_workers(
+                            superstep, range(self.dgraph.num_workers)
+                        )
+                        if lost:
+                            raise_loss = WorkerLoss(
+                                lost[0], superstep,
+                                f"{len(lost)} worker(s) declared permanently "
+                                "dead at the barrier",
+                            )
+                            raise_loss.workers = lost
+                            raise raise_loss
                         # -- barrier commit: crash detection
                         crashed = injector.crashed_workers(
                             superstep, range(self.dgraph.num_workers)
@@ -292,6 +344,29 @@ class PregelEngine:
                             raise failure
                 except SyncRetryExhausted:
                     raise  # unrecoverable: escalate to the caller
+                except WorkerLoss as loss:
+                    if checkpoint is None or failover is None:
+                        raise  # no membership subsystem: unrecoverable
+                    # degraded failover: no guest copies to reconstruct
+                    # from, so the lost partitions reload from the barrier
+                    # checkpoint; the crashed inboxes are re-fetched from
+                    # the senders' outbox logs like the transient path.
+                    metrics.recovery_replayed_supersteps += 1
+                    metrics.recovery_compute_work += record.compute_work
+                    lost_set = set(loss.workers or [loss.worker])
+                    failover.fail_over_degraded(
+                        lost_set, superstep, checkpoint, states, metrics,
+                        program.state_bytes,
+                    )
+                    for dest, payloads in inbox.items():
+                        if self.dgraph.worker_of(dest) in lost_set:
+                            metrics.recovery_resync_bytes += inbox_bytes.get(
+                                dest, 0
+                            )
+                            metrics.recovery_resync_messages += len(payloads)
+                    active = checkpoint.restore(states)
+                    self._aggregators.reset_current()
+                    continue
                 except WorkerFailure as failure:
                     if checkpoint is None:
                         raise  # not injected by us: no checkpoint to replay

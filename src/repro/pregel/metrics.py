@@ -106,6 +106,40 @@ class RunMetrics:
     recovery_straggler_s: float = 0.0
     #: modelled wall time spent in retry exponential backoff
     recovery_backoff_s: float = 0.0
+    #: workers declared permanently dead and failed over
+    recovery_failovers: int = 0
+    #: modelled wall time the barrier blocked until the phi-accrual
+    #: detector declared the silent workers dead
+    recovery_detection_s: float = 0.0
+    #: host vertices whose partition moved to a surviving worker
+    recovery_reassigned_vertices: int = 0
+    #: lost host vertices whose state was rebuilt from a surviving guest
+    #: copy, the delta log, or the barrier checkpoint
+    recovery_reconstructed_vertices: int = 0
+    #: vertices re-examined by the post-failover recovery sweep (the
+    #: DOIMIS affected set around every reconstructed vertex)
+    recovery_reactivated_vertices: int = 0
+    #: bytes shipped to the replicated delta log (solitary vertices with no
+    #: surviving guest copy anywhere)
+    recovery_delta_log_bytes: int = 0
+    #: records appended to the delta log
+    recovery_delta_log_records: int = 0
+    # -- divergence meter family (anti-entropy / guest auditing) ---------
+    # Like recovery_*, these never touch the logical meters: checksum
+    # sampling, detection, and read-repair of silently corrupted guest
+    # copies are all quarantined here.
+    #: guest copies whose checksum was compared against host state
+    divergence_checks: int = 0
+    #: bytes of checksum digests shipped by the sampled audit
+    divergence_check_bytes: int = 0
+    #: corrupted guest copies the auditor detected
+    divergence_detected: int = 0
+    #: corrupted guest copies repaired by re-shipping host state
+    divergence_repaired: int = 0
+    #: bytes re-shipped by read-repair
+    divergence_repair_bytes: int = 0
+    #: records re-shipped by read-repair
+    divergence_repair_messages: int = 0
     #: modelled peak bytes resident on the most-loaded worker
     peak_worker_memory_bytes: int = 0
     #: modelled total bytes across all workers
@@ -156,6 +190,23 @@ class RunMetrics:
         self.recovery_reorders += other.recovery_reorders
         self.recovery_straggler_s += other.recovery_straggler_s
         self.recovery_backoff_s += other.recovery_backoff_s
+        self.recovery_failovers += other.recovery_failovers
+        self.recovery_detection_s += other.recovery_detection_s
+        self.recovery_reassigned_vertices += other.recovery_reassigned_vertices
+        self.recovery_reconstructed_vertices += (
+            other.recovery_reconstructed_vertices
+        )
+        self.recovery_reactivated_vertices += (
+            other.recovery_reactivated_vertices
+        )
+        self.recovery_delta_log_bytes += other.recovery_delta_log_bytes
+        self.recovery_delta_log_records += other.recovery_delta_log_records
+        self.divergence_checks += other.divergence_checks
+        self.divergence_check_bytes += other.divergence_check_bytes
+        self.divergence_detected += other.divergence_detected
+        self.divergence_repaired += other.divergence_repaired
+        self.divergence_repair_bytes += other.divergence_repair_bytes
+        self.divergence_repair_messages += other.divergence_repair_messages
         self.peak_worker_memory_bytes = max(
             self.peak_worker_memory_bytes, other.peak_worker_memory_bytes
         )
@@ -234,6 +285,26 @@ class RunMetrics:
             "recovery_reorders": self.recovery_reorders,
             "recovery_straggler_s": round(self.recovery_straggler_s, 6),
             "recovery_backoff_s": round(self.recovery_backoff_s, 6),
+            "recovery_failovers": self.recovery_failovers,
+            "recovery_detection_s": round(self.recovery_detection_s, 6),
+            "recovery_reassigned_vertices": self.recovery_reassigned_vertices,
+            "recovery_reconstructed_vertices":
+                self.recovery_reconstructed_vertices,
+            "recovery_reactivated_vertices":
+                self.recovery_reactivated_vertices,
+            "recovery_delta_log_bytes": self.recovery_delta_log_bytes,
+            "recovery_delta_log_records": self.recovery_delta_log_records,
+        }
+
+    def divergence_summary(self) -> Dict[str, float]:
+        """The ``divergence_*`` meter family (anti-entropy) as a plain dict."""
+        return {
+            "divergence_checks": self.divergence_checks,
+            "divergence_check_bytes": self.divergence_check_bytes,
+            "divergence_detected": self.divergence_detected,
+            "divergence_repaired": self.divergence_repaired,
+            "divergence_repair_bytes": self.divergence_repair_bytes,
+            "divergence_repair_messages": self.divergence_repair_messages,
         }
 
     def summary(self) -> Dict[str, float]:
@@ -250,6 +321,7 @@ class RunMetrics:
             "state_changes": self.state_changes,
         }
         summary.update(self.recovery_summary())
+        summary.update(self.divergence_summary())
         return summary
 
     def to_json(self, include_records: bool = False) -> str:

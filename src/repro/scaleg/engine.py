@@ -35,7 +35,12 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
 
-from repro.errors import SuperstepLimitExceeded, SyncRetryExhausted, WorkerFailure
+from repro.errors import (
+    SuperstepLimitExceeded,
+    SyncRetryExhausted,
+    WorkerFailure,
+    WorkerLoss,
+)
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -233,22 +238,37 @@ class ScaleGEngine:
     runs, and passes the previous run's states back in.
     """
 
-    def __init__(self, dgraph: "DistributedGraph", contracts=None, faults=None):
+    def __init__(self, dgraph: "DistributedGraph", contracts=None, faults=None,
+                 membership=None):
         """``contracts``: ``None`` defers to the ``REPRO_CONTRACTS`` env
         flag, ``True``/``False`` force runtime contract checking on/off, or
         pass a :class:`~repro.analysis.runtime.ContractChecker` directly.
         ``faults``: a :class:`~repro.faults.plan.FaultPlan` or
         :class:`~repro.faults.injector.FaultInjector` enabling seeded fault
         injection + recovery; ``None`` (or an empty plan) leaves the hot
-        loop exactly as in the fault-free build."""
+        loop exactly as in the fault-free build.
+        ``membership``: a :class:`~repro.faults.membership.MembershipConfig`
+        or :class:`~repro.faults.membership.FailoverCoordinator` enabling
+        permanent-loss failover and guest anti-entropy; ``None``
+        auto-attaches a default coordinator exactly when the fault plan
+        schedules losses or guest corruption."""
         from repro.analysis.runtime import resolve_contracts
         from repro.faults.injector import resolve_faults
+        from repro.faults.membership import resolve_membership
 
         self.dgraph = dgraph
         self._states: Dict[int, Any] = {}
         self._ranked: Optional[RankedAdjacency] = None
         self._contracts = resolve_contracts(contracts)
         self._faults = resolve_faults(faults)
+        self._membership = membership
+        self._failover = resolve_membership(membership, self._faults, dgraph)
+
+    @property
+    def failover(self):
+        """The attached failover coordinator (``None`` when neither the
+        fault plan nor the caller asked for membership tracking)."""
+        return self._failover
 
     def run(
         self,
@@ -299,9 +319,24 @@ class ScaleGEngine:
         worker_of = dgraph.worker_of
         is_remote_pair = dgraph.is_remote_pair
         contracts = self._contracts
-        injector = resolve_faults(faults) if faults is not None else self._faults
+        if faults is not None:
+            injector = resolve_faults(faults)
+            failover = self._failover
+            if failover is None:
+                from repro.faults.membership import resolve_membership
+
+                failover = resolve_membership(self._membership, injector, dgraph)
+        else:
+            injector = self._faults
+            failover = self._failover
         if injector is not None:
             injector.begin_run()
+        # marking corrupted guest copies needs both the schedule and the
+        # auditor that will eventually catch them
+        corrupts = (
+            injector is not None and failover is not None
+            and injector.plan.schedules_corruption
+        )
         # the O(active·deg) read-set sweep is only needed when the checker
         # actually snapshots (isolation on); otherwise skip it entirely
         check_isolation = contracts is not None and contracts.check_isolation
@@ -365,12 +400,33 @@ class ScaleGEngine:
                     record.active_vertices = len(active)
 
                     if injector is not None:
+                        if failover is not None:
+                            failover.view.advance()
                         # -- worker sweep: straggler delays (modelled time)
                         for w in range(dgraph.num_workers):
                             delay = injector.straggler_delay(superstep, w)
                             if delay:
                                 own_metrics.recovery_straggler_s += delay
                                 own_metrics.wall_time_s += delay
+                            if failover is not None and not failover.is_dead(w):
+                                # injector delays are *flagged* stragglers:
+                                # the detector must never count them toward
+                                # suspicion (slow is not dead)
+                                failover.view.heartbeat(
+                                    w, delay_s=delay, injected=True
+                                )
+                        # -- barrier: permanent losses (silence, not delay)
+                        lost = injector.lost_workers(
+                            superstep, range(dgraph.num_workers)
+                        )
+                        if lost:
+                            raise_loss = WorkerLoss(
+                                lost[0], superstep,
+                                f"{len(lost)} worker(s) declared permanently "
+                                "dead at the barrier",
+                            )
+                            raise_loss.workers = lost
+                            raise raise_loss
                         # -- barrier commit: crash detection
                         crashed = injector.crashed_workers(
                             superstep, range(dgraph.num_workers)
@@ -385,6 +441,28 @@ class ScaleGEngine:
                             raise failure
                 except SyncRetryExhausted:
                     raise  # unrecoverable: escalate to the caller
+                except WorkerLoss as loss:
+                    if checkpoint is None or failover is None:
+                        raise  # no membership subsystem: unrecoverable
+                    # membership failover: declare the workers dead, hand
+                    # their partitions to survivors (rendezvous), rebuild
+                    # each lost host from the freshest surviving guest copy
+                    # (or the delta log / barrier checkpoint), then replay
+                    # the superstep on the shrunken cluster.  All costs go
+                    # to the recovery meters; the logical meters keep the
+                    # fault-free placement.
+                    own_metrics.recovery_replayed_supersteps += 1
+                    own_metrics.recovery_compute_work += record.compute_work
+                    targets = failover.fail_over(
+                        loss.workers or [loss.worker], superstep,
+                        checkpoint, states, own_metrics, program.sync_bytes,
+                    )
+                    active = checkpoint.restore(states)
+                    if targets:
+                        self._recovery_sweep(
+                            program, targets, superstep, own_metrics
+                        )
+                    continue
                 except WorkerFailure as failure:
                     if checkpoint is None:
                         raise  # not injected by us: no checkpoint to replay
@@ -446,6 +524,12 @@ class ScaleGEngine:
                                 own_metrics.recovery_sync_duplicates += dups
                                 own_metrics.recovery_resync_bytes += dups * wire
                                 own_metrics.recovery_resync_messages += dups
+                            if corrupts and injector.corrupt_guest(
+                                superstep, u, _machine
+                            ):
+                                # the delivered copy silently diverges in the
+                                # replica — only the auditor can see it
+                                failover.mark_corrupted(u, _machine)
                         record.remote_messages += 1
                         record.bytes_sent += wire
 
@@ -487,6 +571,13 @@ class ScaleGEngine:
                                 record.bytes_sent += (
                                     MESSAGE_OVERHEAD_BYTES + VERTEX_ID_BYTES
                                 )
+                if injector is not None and failover is not None:
+                    # bounded delta log (reconstruction source for solitary
+                    # vertices) + this superstep's sampled anti-entropy pass
+                    failover.record_deltas(
+                        changed, states, sync_bytes, own_metrics
+                    )
+                    failover.audit(states, sync_bytes, own_metrics)
                 own_metrics.observe(record, keep_record=keep_records)
                 active = sorted(next_active)
                 superstep += 1
@@ -507,6 +598,32 @@ class ScaleGEngine:
         own_metrics.observe_memory(per_worker)
         own_metrics.wall_time_s += time.perf_counter() - started
         return ScaleGResult(states=states, metrics=own_metrics)
+
+    # ------------------------------------------------------------------
+    def _recovery_sweep(self, program: ScaleGProgram, targets: List[int],
+                        superstep: int, metrics: RunMetrics) -> None:
+        """Re-examine the DOIMIS affected set after a failover.
+
+        Every reconstructed host and each of its neighbours recomputes
+        against the restored barrier states.  Reconstruction is exact —
+        surviving guest copies are barrier-fresh, the delta log and the
+        checkpoint are barrier snapshots — so this sweep *verifies* rather
+        than repairs: state writes and activation requests are discarded
+        (the replayed superstep redoes the real work), and the verification
+        work is charged to ``recovery_compute_work`` so the logical meters
+        stay bit-identical to the fault-free run's.
+        """
+        ctx = ScaleGContext(self, 0, 0, None)
+        states = self._states
+        graph = self.dgraph.graph
+        for u in targets:
+            if not graph.has_vertex(u) or u not in states:
+                continue
+            ctx._reset(u, superstep, states[u])
+            program.compute(ctx)
+            metrics.recovery_compute_work += max(ctx._work, 1)
+            ctx._activations = []
+            ctx._pred_activations = []
 
     # ------------------------------------------------------------------
     def charge_graph_update(

@@ -66,6 +66,26 @@ def guest_vertices_on(dgraph: DistributedGraph, worker: int) -> List[int]:
     )
 
 
+def surviving_guest_machines(
+    dgraph: DistributedGraph, u: int, worker_of, dead: Set[int]
+) -> List[int]:
+    """Machines still holding a (barrier-fresh) guest copy of ``u``.
+
+    ``worker_of`` is the *effective* placement to evaluate under — under
+    failover that is the coordinator's overlay, not the base partitioner —
+    and ``dead`` the workers declared permanently lost.  This is the set
+    a :class:`~repro.faults.membership.FailoverCoordinator` reconstructs a
+    lost host vertex from: empty means the vertex is solitary (delta log)
+    or every replica died with the host (barrier checkpoint).
+    """
+    if not dgraph.has_vertex(u):
+        return []
+    home = worker_of(u)
+    machines = {worker_of(v) for v in dgraph.neighbors(u)}
+    machines.discard(home)
+    return sorted(m for m in machines if m not in dead)
+
+
 def build_all_indexes(dgraph: DistributedGraph) -> Dict[int, InvertedActivationIndex]:
     """One inverted index per worker."""
     return {

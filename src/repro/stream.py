@@ -41,6 +41,9 @@ class WindowReport:
     supersteps: int = 0
     communication_mb: float = 0.0
     wall_time_s: float = 0.0
+    #: workers declared permanently dead while applying this window (0 for
+    #: maintainers without a membership/failover subsystem)
+    failovers: int = 0
     #: timestamp of the first event in the window (None when untimed)
     started_at: Optional[float] = None
     #: the window's apply raised: nothing committed, its events are still
@@ -163,6 +166,9 @@ class StreamingSession:
         if not self._buffer:
             return None
         metrics = self.maintainer.update_metrics
+        # recovery_failovers exists on RunMetrics; getattr guards baseline
+        # maintainers whose update_metrics is a simpler meter object
+        failovers_before = getattr(metrics, "recovery_failovers", 0)
         before = (metrics.supersteps, metrics.bytes_sent, metrics.wall_time_s)
         ops = list(self._buffer)
         started_at = self._window_start_ts
@@ -176,6 +182,8 @@ class StreamingSession:
                 operations=len(ops),
                 set_size=len(self._membership),
                 wall_time_s=metrics.wall_time_s - before[2],
+                failovers=getattr(metrics, "recovery_failovers", 0)
+                - failovers_before,
                 started_at=started_at,
                 failed=True,
             )
@@ -195,6 +203,8 @@ class StreamingSession:
             supersteps=metrics.supersteps - before[0],
             communication_mb=(metrics.bytes_sent - before[1]) / (1024.0 * 1024.0),
             wall_time_s=metrics.wall_time_s - before[2],
+            failovers=getattr(metrics, "recovery_failovers", 0)
+            - failovers_before,
             started_at=started_at,
         )
         self._membership = current
@@ -231,4 +241,7 @@ class StreamingSession:
             "supersteps": sum(r.supersteps for r in applied),
             "communication_mb": sum(r.communication_mb for r in applied),
             "wall_time_s": sum(r.wall_time_s for r in applied),
+            # failed windows roll back state but a worker declared dead
+            # stays dead — count failovers across every attempt
+            "failovers": sum(r.failovers for r in self.history),
         }

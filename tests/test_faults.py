@@ -412,7 +412,8 @@ class TestChaosHarness:
 
         assert set(PLAN_PRESETS) == {
             "none", "crash", "drop", "duplicate", "straggler", "reorder",
-            "composed",
+            "composed", "worker-loss", "cascading-loss", "loss-under-stream",
+            "corrupt-guest",
         }
 
     def test_unknown_preset_rejected(self):
