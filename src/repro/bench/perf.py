@@ -17,7 +17,12 @@ a logical field or in ``compute_work``.
 Scenario naming follows the paper's experiments: ``static_oimis_*`` are
 full static computations (Table II conditions), ``fig10_single_*`` replay a
 delete-reinsert stream one update at a time (Fig. 10), ``fig11_batch_*``
-replay it in batches (Fig. 11).
+replay it in batches (Fig. 11).  ``runtime_static_oimis_*`` compare the
+inline executor against the multi-process :mod:`repro.runtime` backend
+across ``procs`` ∈ {1, 2, 4, 8}, asserting bit-identical logical meters and
+recording the measured speedup curve (trend data, machine-dependent — the
+entry carries ``cpu_count`` so a 1-core runner's flat curve reads as what
+it is).
 """
 
 from __future__ import annotations
@@ -79,20 +84,22 @@ def _sections(members, metrics: RunMetrics, graph) -> Dict[str, Any]:
 # ---------------------------------------------------------------------------
 # scenarios (each returns the params echo plus logical/perf sections)
 # ---------------------------------------------------------------------------
-def _static_oimis(tag: str) -> Dict[str, Any]:
+def _static_oimis(tag: str, runtime=None) -> Dict[str, Any]:
     graph = load_dataset(tag)
-    run = run_oimis(graph, num_workers=10, strategy=ActivationStrategy.ALL)
+    run = run_oimis(graph, num_workers=10, strategy=ActivationStrategy.ALL,
+                    runtime=runtime)
     result = _sections(run.independent_set, run.metrics, graph)
     result["params"] = {"kind": "static_oimis", "dataset": tag,
                         "workers": 10, "strategy": "all"}
     return result
 
 
-def _fig10_single(tag: str, k: int, seed: int) -> Dict[str, Any]:
+def _fig10_single(tag: str, k: int, seed: int, runtime=None) -> Dict[str, Any]:
     base = load_dataset(tag)
     ops = delete_reinsert_workload(base, k, seed=seed)
     maintainer = DOIMISMaintainer(
-        base.copy(), num_workers=10, strategy=ActivationStrategy.SAME_STATUS
+        base.copy(), num_workers=10, strategy=ActivationStrategy.SAME_STATUS,
+        runtime=runtime,
     )
     maintainer.apply_stream(ops, batch_size=1)
     result = _sections(
@@ -105,10 +112,12 @@ def _fig10_single(tag: str, k: int, seed: int) -> Dict[str, Any]:
     return result
 
 
-def _fig10_single_scall(tag: str, k: int, seed: int) -> Dict[str, Any]:
+def _fig10_single_scall(tag: str, k: int, seed: int, runtime=None) -> Dict[str, Any]:
     base = load_dataset(tag)
     ops = delete_reinsert_workload(base, k, seed=seed)
-    maintainer = make_algorithm("SCALL", load_dataset(tag), num_workers=10)
+    maintainer = make_algorithm(
+        "SCALL", load_dataset(tag), num_workers=10, runtime=runtime
+    )
     maintainer.apply_stream(ops, batch_size=1)
     result = _sections(
         maintainer.independent_set(), maintainer.update_metrics,
@@ -120,11 +129,13 @@ def _fig10_single_scall(tag: str, k: int, seed: int) -> Dict[str, Any]:
     return result
 
 
-def _fig11_batch(tag: str, k: int, seed: int, batch_size: int) -> Dict[str, Any]:
+def _fig11_batch(tag: str, k: int, seed: int, batch_size: int,
+                 runtime=None) -> Dict[str, Any]:
     base = load_dataset(tag)
     ops = delete_reinsert_workload(base, k, seed=seed)
     maintainer = DOIMISMaintainer(
-        base.copy(), num_workers=10, strategy=ActivationStrategy.SAME_STATUS
+        base.copy(), num_workers=10, strategy=ActivationStrategy.SAME_STATUS,
+        runtime=runtime,
     )
     maintainer.apply_stream(ops, batch_size=batch_size)
     result = _sections(
@@ -137,6 +148,71 @@ def _fig11_batch(tag: str, k: int, seed: int, batch_size: int) -> Dict[str, Any]
     return result
 
 
+#: worker-process counts swept by the runtime-comparison scenarios
+RUNTIME_PROC_COUNTS = (1, 2, 4, 8)
+
+
+def _runtime_static_oimis(tag: str) -> Dict[str, Any]:
+    """Inline-vs-process runtime comparison on one static computation.
+
+    The inline run provides the logical section (pinned by ``--check`` like
+    every other scenario); each process-runtime run must reproduce it
+    bit-for-bit — any divergence raises instead of being recorded.  Wall
+    times and the derived speedups are trend data only (never compared):
+    they are honest measurements of *this* machine, so the recorded
+    ``cpu_count`` is part of the entry — speedup curves flatten at the
+    physical core count, and a 1-CPU container cannot show any.
+    """
+    import os
+
+    from repro.runtime import ParallelRuntime
+
+    graph = load_dataset(tag)
+    inline = run_oimis(
+        graph, num_workers=10, strategy=ActivationStrategy.ALL
+    )
+    result = _sections(inline.independent_set, inline.metrics, graph)
+    inline_wall = inline.metrics.wall_time_s
+    curve: Dict[str, Any] = {}
+    for procs in RUNTIME_PROC_COUNTS:
+        runtime = ParallelRuntime(procs=procs)
+        try:
+            runtime.prestart(num_partitions=10)  # spawn outside the timing
+            run = run_oimis(
+                load_dataset(tag), num_workers=10,
+                strategy=ActivationStrategy.ALL, runtime=runtime,
+            )
+        finally:
+            runtime.close()
+        if run.independent_set != inline.independent_set:
+            raise RuntimeError(
+                f"runtime_static_oimis_{tag}: process runtime (procs="
+                f"{procs}) diverged from inline members"
+            )
+        for field in ("supersteps", "active_vertices", "state_changes",
+                      "messages", "remote_messages", "bytes_sent",
+                      "compute_work"):
+            if getattr(run.metrics, field) != getattr(inline.metrics, field):
+                raise RuntimeError(
+                    f"runtime_static_oimis_{tag}: meter {field} diverged "
+                    f"under procs={procs}"
+                )
+        wall = run.metrics.wall_time_s
+        curve[str(procs)] = {
+            "wall_time_s": round(wall, 3),
+            "speedup_vs_inline": round(inline_wall / wall, 3) if wall else 0.0,
+        }
+    result["params"] = {"kind": "runtime_static_oimis", "dataset": tag,
+                        "workers": 10, "strategy": "all"}
+    result["perf"]["runtime"] = {
+        "backend": "process",
+        "cpu_count": os.cpu_count(),
+        "inline_wall_time_s": round(inline_wall, 3),
+        "procs": curve,
+    }
+    return result
+
+
 SCENARIOS: Dict[str, Callable[[], Dict[str, Any]]] = {
     "static_oimis_SKI": lambda: _static_oimis("SKI"),
     "static_oimis_TW": lambda: _static_oimis("TW"),
@@ -144,14 +220,77 @@ SCENARIOS: Dict[str, Callable[[], Dict[str, Any]]] = {
     "fig10_single_scall_SKI": lambda: _fig10_single_scall("SKI", 60, 7),
     "fig11_batch_TW": lambda: _fig11_batch("TW", 150, 11, 25),
     "fig11_batch_AM": lambda: _fig11_batch("AM", 100, 13, 20),
+    "runtime_static_oimis_SKI": lambda: _runtime_static_oimis("SKI"),
+    "runtime_static_oimis_TW": lambda: _runtime_static_oimis("TW"),
 }
 
 
 # ---------------------------------------------------------------------------
 # suite driver / baseline IO / drift check
 # ---------------------------------------------------------------------------
-def run_suite(names: Tuple[str, ...] = ()) -> Dict[str, Any]:
-    """Run the selected scenarios (default: all) and return the document."""
+def _stable_sections(entry: Dict[str, Any]) -> Tuple[Any, Any]:
+    """The deterministic parts of a scenario result (everything ``--check``
+    pins): the logical section plus ``compute_work``."""
+    return (entry["logical"], entry["perf"].get("compute_work"))
+
+
+def _run_scenario(
+    name: str, repeat: int, profile_dir: Any = None
+) -> Dict[str, Any]:
+    """Run one scenario ``repeat`` times (median/min wall time), optionally
+    dumping a cProfile ``.pstats`` file from one extra profiled run."""
+    import statistics
+
+    fn = SCENARIOS[name]
+    entry = fn()
+    walls = [entry["perf"]["wall_time_s"]]
+    for _ in range(repeat - 1):
+        again = fn()
+        if _stable_sections(again) != _stable_sections(entry):
+            raise RuntimeError(
+                f"{name}: logical section or compute_work changed between "
+                "repeats — the scenario is not deterministic"
+            )
+        walls.append(again["perf"]["wall_time_s"])
+    if repeat > 1:
+        entry["perf"]["wall_time_s"] = round(statistics.median(walls), 3)
+        entry["perf"]["wall_time_min_s"] = round(min(walls), 3)
+        entry["perf"]["repeats"] = repeat
+    if profile_dir is not None:
+        import cProfile
+        import os
+
+        os.makedirs(profile_dir, exist_ok=True)
+        profiler = cProfile.Profile()
+        profiler.enable()
+        profiled = fn()
+        profiler.disable()
+        if _stable_sections(profiled) != _stable_sections(entry):
+            raise RuntimeError(
+                f"{name}: logical section or compute_work changed under "
+                "profiling — the scenario is not deterministic"
+            )
+        profiler.dump_stats(os.path.join(profile_dir, f"{name}.pstats"))
+    return entry
+
+
+def run_suite(
+    names: Tuple[str, ...] = (),
+    repeat: int = 1,
+    profile_dir: Any = None,
+) -> Dict[str, Any]:
+    """Run the selected scenarios (default: all) and return the document.
+
+    ``repeat`` runs each scenario that many times: the recorded
+    ``wall_time_s`` becomes the median, ``wall_time_min_s`` the minimum,
+    and the logical sections must be bit-identical across repeats (a
+    mismatch raises — the suite's whole premise is determinism).
+    ``profile_dir`` additionally profiles one extra run of each scenario
+    with :mod:`cProfile` and dumps ``<scenario>.pstats`` files there; the
+    profiled run is never the timed one.
+    """
+    if repeat < 1:
+        raise ValueError(f"repeat must be >= 1, got {repeat}")
     selected = names or tuple(SCENARIOS)
     unknown = [name for name in selected if name not in SCENARIOS]
     if unknown:
@@ -159,7 +298,10 @@ def run_suite(names: Tuple[str, ...] = ()) -> Dict[str, Any]:
     return {
         "format": FORMAT,
         "version": VERSION,
-        "scenarios": {name: SCENARIOS[name]() for name in selected},
+        "scenarios": {
+            name: _run_scenario(name, repeat, profile_dir)
+            for name in selected
+        },
     }
 
 

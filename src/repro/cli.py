@@ -63,6 +63,19 @@ _STRATEGIES = {
 }
 
 
+def _resolve_cli_runtime(args: argparse.Namespace):
+    """Build the execution backend the ``--runtime``/``--procs`` flags ask
+    for (``None`` keeps the engines' inline default)."""
+    if args.runtime != "process":
+        if args.procs is not None:
+            print("note: --procs only applies with --runtime process",
+                  file=sys.stderr)
+        return None
+    from repro.runtime import ParallelRuntime
+
+    return ParallelRuntime(procs=args.procs)
+
+
 def _print_metrics(label: str, metrics) -> None:
     summary = metrics.summary()
     print(f"{label}:")
@@ -77,20 +90,30 @@ def _print_metrics(label: str, metrics) -> None:
 def _cmd_compute(args: argparse.Namespace) -> int:
     graph = read_edge_list(args.graph)
     print(f"loaded {graph}")
-    if args.algorithm == "oimis":
-        if args.engine == "pregel":
-            run = run_oimis_pregel(graph, num_workers=args.workers)
+    runtime = _resolve_cli_runtime(args)
+    try:
+        if args.algorithm == "oimis":
+            if args.engine == "pregel":
+                run = run_oimis_pregel(
+                    graph, num_workers=args.workers, runtime=runtime
+                )
+            else:
+                run = run_oimis(
+                    graph, num_workers=args.workers,
+                    strategy=_STRATEGIES[args.strategy], runtime=runtime,
+                )
+            members = run.independent_set
+            metrics = run.metrics
         else:
-            run = run_oimis(
-                graph, num_workers=args.workers,
-                strategy=_STRATEGIES[args.strategy],
+            run = run_dismis(
+                graph, num_workers=args.workers, engine=args.engine,
+                runtime=runtime,
             )
-        members = run.independent_set
-        metrics = run.metrics
-    else:
-        run = run_dismis(graph, num_workers=args.workers, engine=args.engine)
-        members = run.independent_set
-        metrics = run.metrics
+            members = run.independent_set
+            metrics = run.metrics
+    finally:
+        if runtime is not None:
+            runtime.close()
     print(f"independent set size: {len(members)}")
     _print_metrics("metrics", metrics)
     if args.output:
@@ -102,10 +125,13 @@ def _cmd_compute(args: argparse.Namespace) -> int:
 
 
 def _cmd_maintain(args: argparse.Namespace) -> int:
+    runtime = _resolve_cli_runtime(args)
     if args.resume:
         # an explicit --workers must match the checkpoint's partitioning —
         # load() raises CheckpointError("partition mismatch: ...") otherwise
-        maintainer = MISMaintainer.load(args.resume, num_workers=args.workers)
+        maintainer = MISMaintainer.load(
+            args.resume, num_workers=args.workers, runtime=runtime
+        )
         print(f"resumed checkpoint: {maintainer.graph}, |M|={len(maintainer)}")
     else:
         graph = read_edge_list(args.graph)
@@ -113,8 +139,14 @@ def _cmd_maintain(args: argparse.Namespace) -> int:
             graph,
             num_workers=args.workers if args.workers is not None else 10,
             strategy=_STRATEGIES[args.strategy],
+            runtime=runtime,
         )
         print(f"loaded {maintainer.graph}; initial |M|={len(maintainer)}")
+    with maintainer:
+        return _run_maintain(args, maintainer)
+
+
+def _run_maintain(args: argparse.Namespace, maintainer) -> int:
     ops = read_update_stream(args.updates)
     print(f"applying {len(ops)} updates in batches of {args.batch_size}")
     if args.checkpoint_every:
@@ -211,8 +243,13 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 def _cmd_bench_perf(args: argparse.Namespace) -> int:
     from repro.bench import perf
 
+    if args.repeat < 1:
+        print("error: --repeat must be >= 1", file=sys.stderr)
+        return 2
     names = tuple(args.scenario or ())
-    document = perf.run_suite(names)
+    document = perf.run_suite(
+        names, repeat=args.repeat, profile_dir=args.profile
+    )
     if args.check:
         try:
             baseline = perf.load_baseline(args.output)
@@ -322,6 +359,16 @@ def build_parser() -> argparse.ArgumentParser:
     compute.add_argument("--engine", choices=("scaleg", "pregel"), default="scaleg")
     compute.add_argument("--workers", type=int, default=10)
     compute.add_argument("--strategy", choices=sorted(_STRATEGIES), default="ss")
+    compute.add_argument(
+        "--runtime", choices=("inline", "process"), default="inline",
+        help="execution backend: inline (serial, default) or process "
+        "(multi-core worker pool; bit-identical results)",
+    )
+    compute.add_argument(
+        "--procs", type=int, default=None, metavar="N",
+        help="worker process count for --runtime process "
+        "(default: os.cpu_count())",
+    )
     compute.add_argument("--output", "-o", help="write member ids to this file")
     compute.set_defaults(fn=_cmd_compute)
 
@@ -342,6 +389,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the checkpoint every N batches (needs --checkpoint)",
     )
     maintain.add_argument("--resume", help="resume from a checkpoint instead of a graph")
+    maintain.add_argument(
+        "--runtime", choices=("inline", "process"), default="inline",
+        help="execution backend: inline (serial, default) or process "
+        "(multi-core worker pool; bit-identical results)",
+    )
+    maintain.add_argument(
+        "--procs", type=int, default=None, metavar="N",
+        help="worker process count for --runtime process "
+        "(default: os.cpu_count())",
+    )
     maintain.add_argument("--output", "-o", help="write member ids to this file")
     maintain.set_defaults(fn=_cmd_maintain)
 
@@ -419,6 +476,16 @@ def build_parser() -> argparse.ArgumentParser:
     bench_perf.add_argument(
         "--scenario", action="append", metavar="NAME",
         help="run only this scenario (repeatable; default: all)",
+    )
+    bench_perf.add_argument(
+        "--repeat", type=int, default=1, metavar="N",
+        help="run each scenario N times and record median/min wall time "
+        "(default: 1; logical sections must be identical across repeats)",
+    )
+    bench_perf.add_argument(
+        "--profile", metavar="DIR",
+        help="also profile each scenario run with cProfile and dump "
+        "<scenario>.pstats files into DIR",
     )
     bench_perf.set_defaults(fn=_cmd_bench_perf)
 

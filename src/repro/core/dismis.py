@@ -224,20 +224,34 @@ def run_dismis(
     partitioner=None,
     engine: str = "scaleg",
     metrics: Optional[RunMetrics] = None,
+    runtime=None,
 ) -> DisMISRun:
     """Compute the independent set of a static graph with DisMIS.
 
     ``engine`` selects ``"scaleg"`` (the paper's deployment, default) or
-    ``"pregel"`` (classic message passing).
+    ``"pregel"`` (classic message passing).  ``runtime`` selects the
+    execution backend; a string-selected process runtime is closed before
+    returning, a backend instance stays owned by the caller.
     """
+    from repro.runtime.base import ExecutionBackend
+
     dgraph = DistributedGraph(graph, partitioner or HashPartitioner(num_workers))
     if engine == "scaleg":
-        result = ScaleGEngine(dgraph).run(DisMISProgram(), metrics=metrics)
-        statuses = dict(result.states)
+        bsp = ScaleGEngine(dgraph, runtime=runtime)
+        program = DisMISProgram()
     elif engine == "pregel":
-        result = PregelEngine(dgraph).run(DisMISPregelProgram(), metrics=metrics)
-        statuses = {u: s["status"] for u, s in result.states.items()}
+        bsp = PregelEngine(dgraph, runtime=runtime)
+        program = DisMISPregelProgram()
     else:
         raise ValueError(f"unknown engine {engine!r}; use 'scaleg' or 'pregel'")
+    try:
+        result = bsp.run(program, metrics=metrics)
+    finally:
+        if not isinstance(runtime, ExecutionBackend):
+            bsp.close()
+    if engine == "scaleg":
+        statuses = dict(result.states)
+    else:
+        statuses = {u: s["status"] for u, s in result.states.items()}
     independent = {u for u, s in statuses.items() if s == Status.IN}
     return DisMISRun(independent, statuses, result.metrics)

@@ -75,6 +75,13 @@ class DOIMISMaintainer:
         reassignment + guest-copy reconstruction) and the guest anti-entropy
         auditor runs.  ``None`` auto-attaches a default coordinator exactly
         when the fault plan schedules losses or guest corruption.
+    runtime:
+        Execution backend for the compute sweeps — ``None``/``"inline"``
+        (serial, the default), ``"process"`` (the multi-core
+        :class:`~repro.runtime.parallel.ParallelRuntime`), or an
+        :class:`~repro.runtime.base.ExecutionBackend` instance.  Call
+        :meth:`close` (or use the maintainer as a context manager) when a
+        process runtime is attached.
     """
 
     def __init__(
@@ -89,12 +96,14 @@ class DOIMISMaintainer:
         program: Optional[OIMISProgram] = None,
         faults=None,
         membership=None,
+        runtime=None,
     ):
         self._dgraph = DistributedGraph(
             graph, partitioner or HashPartitioner(num_workers)
         )
         self._engine = ScaleGEngine(
-            self._dgraph, faults=faults, membership=membership
+            self._dgraph, faults=faults, membership=membership,
+            runtime=runtime,
         )
         self._program = program if program is not None else OIMISProgram(
             strategy=strategy, full_scan=full_scan
@@ -139,6 +148,22 @@ class DOIMISMaintainer:
         """The engine's failover coordinator (``None`` when neither the
         fault plan nor the caller asked for membership tracking)."""
         return self._engine.failover
+
+    @property
+    def runtime(self):
+        """The engine's execution backend (inline by default)."""
+        return self._engine.runtime
+
+    def close(self) -> None:
+        """Release the execution backend (stops worker processes when the
+        maintainer runs on the process runtime; a no-op inline)."""
+        self._engine.close()
+
+    def __enter__(self) -> "DOIMISMaintainer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     def final_audit(self) -> int:
         """Close-out anti-entropy sweep: audit every surviving guest copy.

@@ -47,6 +47,7 @@ class MISMaintainer(DOIMISMaintainer):
         resume_states=None,
         faults=None,
         membership=None,
+        runtime=None,
     ):
         super().__init__(
             graph,
@@ -57,6 +58,7 @@ class MISMaintainer(DOIMISMaintainer):
             resume_states=resume_states,
             faults=faults,
             membership=membership,
+            runtime=runtime,
         )
 
     @classmethod
@@ -113,8 +115,8 @@ class MISMaintainer(DOIMISMaintainer):
         (host/guest directories would disagree with every meter and with a
         failover coordinator's membership view).  ``None`` (the default)
         adopts the checkpoint's own count.  Extra keyword arguments
-        (``faults``, ``membership``, ``partitioner``, ...) pass through to
-        the constructor.
+        (``faults``, ``membership``, ``partitioner``, ``runtime``, ...)
+        pass through to the constructor.
         """
         import json
 

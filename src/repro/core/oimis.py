@@ -32,6 +32,7 @@ from repro.graph.dynamic_graph import DynamicGraph
 from repro.pregel.engine import PregelContext, PregelEngine, PregelProgram
 from repro.pregel.metrics import DEGREE_BYTES, STATUS_BYTES, VERTEX_ID_BYTES, RunMetrics
 from repro.pregel.partition import HashPartitioner
+from repro.runtime.base import ExecutionBackend
 from repro.scaleg.engine import ScaleGContext, ScaleGEngine, ScaleGProgram
 
 
@@ -161,19 +162,28 @@ def run_oimis(
     partitioner=None,
     metrics: Optional[RunMetrics] = None,
     initial_states: Optional[Dict[int, bool]] = None,
+    runtime=None,
 ) -> "OIMISRun":
     """Compute the independent set of a static graph with OIMIS on ScaleG.
 
     Returns an :class:`OIMISRun` with the set, the raw states (reusable for
-    dynamic maintenance), and the run metrics.
+    dynamic maintenance), and the run metrics.  ``runtime`` selects the
+    execution backend (``None``/``"inline"``, ``"process"``, or an
+    :class:`~repro.runtime.base.ExecutionBackend`); a string-selected
+    process runtime is closed before returning, a backend instance stays
+    owned by the caller.
     """
     dgraph = DistributedGraph(
         graph, partitioner or HashPartitioner(num_workers)
     )
-    engine = ScaleGEngine(dgraph)
+    engine = ScaleGEngine(dgraph, runtime=runtime)
     program = OIMISProgram(strategy=strategy)
     states = dict(initial_states) if initial_states is not None else None
-    result = engine.run(program, states=states, metrics=metrics)
+    try:
+        result = engine.run(program, states=states, metrics=metrics)
+    finally:
+        if not isinstance(runtime, ExecutionBackend):
+            engine.close()
     return OIMISRun(
         independent_set=independent_set_from_states(result.states),
         states=result.states,
@@ -186,13 +196,18 @@ def run_oimis_pregel(
     num_workers: int = 10,
     partitioner=None,
     metrics: Optional[RunMetrics] = None,
+    runtime=None,
 ) -> "OIMISRun":
     """Compute the independent set with the message-passing variant."""
     dgraph = DistributedGraph(
         graph, partitioner or HashPartitioner(num_workers)
     )
-    engine = PregelEngine(dgraph)
-    result = engine.run(OIMISPregelProgram(), metrics=metrics)
+    engine = PregelEngine(dgraph, runtime=runtime)
+    try:
+        result = engine.run(OIMISPregelProgram(), metrics=metrics)
+    finally:
+        if not isinstance(runtime, ExecutionBackend):
+            engine.close()
     states = {u: s["in"] for u, s in result.states.items()}
     return OIMISRun(
         independent_set=independent_set_from_states(states),

@@ -68,6 +68,16 @@ class PartitionError(EngineError):
     """Raised when a partitioner produces an invalid worker assignment."""
 
 
+class ParallelRuntimeError(EngineError):
+    """Raised when the multi-process runtime breaks its contract.
+
+    Covers a worker process dying mid-superstep, an unpicklable program or
+    state crossing the pipe, and a fault echo that disagrees with the
+    barrier draws — anything where the parallel backend can no longer
+    guarantee bit-identity with the inline run.
+    """
+
+
 class WorkerFailure(EngineError):
     """Raised when a simulated worker fails and recovery cannot proceed.
 

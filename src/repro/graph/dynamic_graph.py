@@ -46,7 +46,9 @@ class DynamicGraph:
     [3]
     """
 
-    __slots__ = ("_adj", "_rank_caches", "_default_rank_cache")
+    __slots__ = (
+        "_adj", "_rank_caches", "_default_rank_cache", "_mutation_observers"
+    )
 
     def __init__(self) -> None:
         self._adj: Dict[int, Set[int]] = {}
@@ -55,6 +57,10 @@ class DynamicGraph:
         # pay nothing beyond the empty-list check per update
         self._rank_caches: List[RankedAdjacency] = []
         self._default_rank_cache: Optional[RankedAdjacency] = None
+        # mutation observers (e.g. the process runtime's replica shipper);
+        # notified after each committed mutation, same lazy-attach economy
+        # as the rank caches
+        self._mutation_observers: List[Any] = []
 
     # ------------------------------------------------------------------
     # construction
@@ -91,21 +97,34 @@ class DynamicGraph:
     # ------------------------------------------------------------------
     def add_vertex(self, u: int) -> None:
         """Add an isolated vertex.  Adding an existing vertex is a no-op."""
-        self._adj.setdefault(u, set())
+        if u not in self._adj:
+            self._adj[u] = set()
+            for obs in self._mutation_observers:
+                obs.on_add_vertex(u)
 
     def remove_vertex(self, u: int) -> List[Tuple[int, int]]:
         """Remove ``u`` and all incident edges.
 
         Returns the list of removed edges (useful for maintenance algorithms
         that must process the implied edge deletions).
+
+        Observers receive a single ``on_remove_vertex`` event covering the
+        implied edge deletions (replicas replay it through their own
+        ``remove_vertex``), so the incident ``remove_edge`` calls below are
+        not notified separately.
         """
         nbrs = self._require(u)
         removed = [(u, v) for v in sorted(nbrs)]
+        observers = self._mutation_observers
         if self._rank_caches:
             # route through remove_edge so every incident deletion repairs
             # the attached rank caches (neighbour degrees all shift)
-            for _, v in removed:
-                self.remove_edge(u, v)
+            self._mutation_observers = ()
+            try:
+                for _, v in removed:
+                    self.remove_edge(u, v)
+            finally:
+                self._mutation_observers = observers
             del self._adj[u]
             for cache in self._rank_caches:
                 cache.on_remove_vertex(u)
@@ -113,6 +132,8 @@ class DynamicGraph:
             for v in nbrs:
                 self._adj[v].discard(u)
             del self._adj[u]
+        for obs in observers:
+            obs.on_remove_vertex(u)
         return removed
 
     def has_vertex(self, u: int) -> bool:
@@ -153,6 +174,8 @@ class DynamicGraph:
         self._adj[v].add(u)
         for cache in self._rank_caches:
             cache.on_add_edge(u, v)
+        for obs in self._mutation_observers:
+            obs.on_add_edge(u, v)
 
     def remove_edge(self, u: int, v: int) -> None:
         """Delete edge ``(u, v)``.
@@ -168,6 +191,8 @@ class DynamicGraph:
         self._adj[v].discard(u)
         for cache in self._rank_caches:
             cache.on_remove_edge(u, v)
+        for obs in self._mutation_observers:
+            obs.on_remove_edge(u, v)
 
     def has_edge(self, u: int, v: int) -> bool:
         nbrs = self._adj.get(u)
@@ -216,12 +241,16 @@ class DynamicGraph:
     def rank_cache(self) -> RankedAdjacency:
         """The shared ``(degree, id)``-ordered adjacency cache.
 
-        Created on first use and kept in lock-step with every mutation;
-        all engines running on this graph share it.
+        Created on first use — with a single bulk build of every ranked
+        list (the engines' first run activates all vertices anyway, so the
+        bulk pass never sorts a list lazy materialization wouldn't) — and
+        kept in lock-step with every mutation; all engines running on this
+        graph share it.
         """
         if self._default_rank_cache is None:
             self._default_rank_cache = RankedAdjacency(self)
             self._rank_caches.append(self._default_rank_cache)
+            self._default_rank_cache.build_all()
         return self._default_rank_cache
 
     def ranked_neighbors(self, u: int) -> List[int]:
@@ -230,12 +259,19 @@ class DynamicGraph:
         return self.rank_cache().ranked_neighbors(u)
 
     def attach_rank_cache(
-        self, key: Callable[[int], Any]
+        self, key: Callable[[int], Any], bulk: bool = False
     ) -> RankedAdjacency:
         """Attach an extra cache ordered by a custom rank key (e.g. the
-        weighted ``≺_w``); it is repaired on every subsequent mutation."""
+        weighted ``≺_w``); it is repaired on every subsequent mutation.
+
+        ``bulk=True`` materializes every list immediately via
+        :meth:`RankedAdjacency.build_all` (one counted build); the default
+        keeps lazy materialization, which is the right economy for caches
+        re-attached per run over small affected sets."""
         cache = RankedAdjacency(self, key=key)
         self._rank_caches.append(cache)
+        if bulk:
+            cache.build_all()
         return cache
 
     def detach_rank_cache(self, cache: RankedAdjacency) -> None:
@@ -244,6 +280,25 @@ class DynamicGraph:
             self._rank_caches.remove(cache)
         if cache is self._default_rank_cache:
             self._default_rank_cache = None
+
+    # ------------------------------------------------------------------
+    # mutation observers
+    # ------------------------------------------------------------------
+    def attach_mutation_observer(self, observer: Any) -> None:
+        """Notify ``observer`` after every committed mutation.
+
+        The observer implements ``on_add_vertex(u)``, ``on_add_edge(u, v)``,
+        ``on_remove_edge(u, v)`` and ``on_remove_vertex(u)``; the process
+        runtime uses this to replay the maintenance driver's updates on
+        each worker replica.  Attaching twice is a no-op.
+        """
+        if observer not in self._mutation_observers:
+            self._mutation_observers.append(observer)
+
+    def detach_mutation_observer(self, observer: Any) -> None:
+        """Stop notifying ``observer`` (no-op if it is not attached)."""
+        if observer in self._mutation_observers:
+            self._mutation_observers.remove(observer)
 
     # ------------------------------------------------------------------
     # dunder / misc

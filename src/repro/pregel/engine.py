@@ -159,7 +159,7 @@ class PregelEngine:
     """Executes a :class:`PregelProgram` over a :class:`DistributedGraph`."""
 
     def __init__(self, dgraph: "DistributedGraph", contracts=None, faults=None,
-                 membership=None):
+                 membership=None, runtime=None):
         """``contracts``: ``None`` defers to the ``REPRO_CONTRACTS`` env
         flag, ``True``/``False`` force runtime contract checking on/off, or
         pass a :class:`~repro.analysis.runtime.ContractChecker` directly.
@@ -172,10 +172,14 @@ class PregelEngine:
         permanent-loss failover (degraded: no guest copies exist here, so
         lost partitions reload from the barrier checkpoint); ``None``
         auto-attaches a default coordinator when the plan schedules
-        losses."""
+        losses.
+        ``runtime``: execution backend for the compute sweep — ``None`` /
+        ``"inline"`` (serial, the default), ``"process"``, or an
+        :class:`~repro.runtime.base.ExecutionBackend` instance."""
         from repro.analysis.runtime import resolve_contracts
         from repro.faults.injector import resolve_faults
         from repro.faults.membership import resolve_membership
+        from repro.runtime import resolve_runtime
 
         self.dgraph = dgraph
         self._outbox: List[Message] = []
@@ -184,12 +188,22 @@ class PregelEngine:
         self._faults = resolve_faults(faults)
         self._membership = membership
         self._failover = resolve_membership(membership, self._faults, dgraph)
+        self._runtime = resolve_runtime(runtime)
 
     @property
     def failover(self):
         """The attached failover coordinator (``None`` when neither the
         fault plan nor the caller asked for membership tracking)."""
         return self._failover
+
+    @property
+    def runtime(self):
+        """The execution backend driving this engine's compute sweeps."""
+        return self._runtime
+
+    def close(self) -> None:
+        """Release the execution backend's resources (worker processes)."""
+        self._runtime.close()
 
     def run(
         self,
@@ -259,6 +273,10 @@ class PregelEngine:
         if injector is not None:
             injector.begin_run()
 
+        runtime = self._runtime
+        runtime.bind(self)
+        runtime.begin_run(program, states)
+
         inbox: Dict[int, List[Any]] = {}
         #: wire bytes delivered per destination last superstep — the cost of
         #: re-fetching a crashed worker's inbox from the senders' logs
@@ -278,40 +296,55 @@ class PregelEngine:
                 new_states: Dict[int, Any] = {}
 
                 checkpoint = None
+                draws = None
                 if injector is not None:
                     from repro.faults.recovery import SuperstepCheckpoint
 
                     checkpoint = SuperstepCheckpoint.capture(
                         superstep, states, active
                     )
+                    draws = runtime.predraw(
+                        injector, superstep, self.dgraph.num_workers
+                    )
 
                 if self._contracts is not None:
                     self._contracts.begin_superstep(superstep, active, states)
 
                 try:
-                    for u in active:
-                        ctx = PregelContext(
-                            self, u, superstep, inbox.get(u, []), states[u]
+                    sweep = runtime.sweep_pregel(
+                        states, active, superstep, inbox, draws
+                    )
+                    new_states = sweep.new_states
+                    record.active_vertices = len(active)
+                    record.compute_work = sweep.compute_work
+                    record.worker_work = sweep.worker_work
+                    record.state_changes = len(new_states)
+                    if draws is not None and sweep.fault_echo != draws.echo():
+                        from repro.errors import ParallelRuntimeError
+
+                        raise ParallelRuntimeError(
+                            f"superstep {superstep}: worker fault echo "
+                            f"{sweep.fault_echo!r} does not match the "
+                            f"pre-drawn schedule {draws.echo()!r}"
                         )
-                        program.compute(ctx)
-                        record.active_vertices += 1
-                        record.compute_work += ctx._work
-                        record.worker_work[self.dgraph.worker_of(u)] += max(
-                            ctx._work, 1
-                        )
-                        if ctx._changed:
-                            new_states[u] = ctx._new_state
-                            record.state_changes += 1
 
                     if injector is not None:
                         if failover is not None:
                             failover.view.advance()
                         # -- worker sweep: straggler delays (modelled time)
-                        for w in range(self.dgraph.num_workers):
-                            delay = injector.straggler_delay(superstep, w)
+                        if draws is None:
+                            delays = [
+                                injector.straggler_delay(superstep, w)
+                                for w in range(self.dgraph.num_workers)
+                            ]
+                        else:
+                            delays = draws.delays
+                        for w, delay in enumerate(delays):
                             if delay:
-                                metrics.recovery_straggler_s += delay
-                                metrics.wall_time_s += delay
+                                metrics.merge_delta({
+                                    "recovery_straggler_s": delay,
+                                    "wall_time_s": delay,
+                                })
                             if failover is not None and not failover.is_dead(w):
                                 # flagged straggler delays never count
                                 # toward suspicion (slow is not dead)
@@ -319,9 +352,12 @@ class PregelEngine:
                                     w, delay_s=delay, injected=True
                                 )
                         # -- barrier: permanent losses (silence, not delay)
-                        lost = injector.lost_workers(
-                            superstep, range(self.dgraph.num_workers)
-                        )
+                        if draws is None:
+                            lost = injector.lost_workers(
+                                superstep, range(self.dgraph.num_workers)
+                            )
+                        else:
+                            lost = draws.lost
                         if lost:
                             raise_loss = WorkerLoss(
                                 lost[0], superstep,
@@ -331,9 +367,12 @@ class PregelEngine:
                             raise_loss.workers = lost
                             raise raise_loss
                         # -- barrier commit: crash detection
-                        crashed = injector.crashed_workers(
-                            superstep, range(self.dgraph.num_workers)
-                        )
+                        if draws is None:
+                            crashed = injector.crashed_workers(
+                                superstep, range(self.dgraph.num_workers)
+                            )
+                        else:
+                            crashed = draws.crashed
                         if crashed:
                             failure = WorkerFailure(
                                 crashed[0], superstep,
@@ -394,6 +433,7 @@ class PregelEngine:
                     if u not in dirty:
                         dirty[u] = states[u]
                 states.update(new_states)
+                runtime.commit(new_states)
 
                 # --- deliver messages (with combining, cost accounting) ----
                 outbox = self._outbox

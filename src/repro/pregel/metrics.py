@@ -213,6 +213,50 @@ class RunMetrics:
         self.total_memory_bytes = max(self.total_memory_bytes, other.total_memory_bytes)
         self.records.extend(other.records)
 
+    #: meter names :meth:`merge_delta` accepts as additive increments —
+    #: the logical family plus the quarantined ``recovery_*`` and
+    #: ``divergence_*`` families
+    _ADDITIVE_METERS = frozenset({
+        "supersteps", "active_vertices", "compute_work", "messages",
+        "remote_messages", "bytes_sent", "state_changes", "wall_time_s",
+        "recovery_crashes", "recovery_replayed_supersteps",
+        "recovery_compute_work", "recovery_resync_bytes",
+        "recovery_resync_messages", "recovery_sync_retries",
+        "recovery_sync_duplicates", "recovery_reorders",
+        "recovery_straggler_s", "recovery_backoff_s", "recovery_failovers",
+        "recovery_detection_s", "recovery_reassigned_vertices",
+        "recovery_reconstructed_vertices", "recovery_reactivated_vertices",
+        "recovery_delta_log_bytes", "recovery_delta_log_records",
+        "divergence_checks", "divergence_check_bytes",
+        "divergence_detected", "divergence_repaired",
+        "divergence_repair_bytes", "divergence_repair_messages",
+    })
+    #: meters :meth:`merge_delta` folds with ``max`` (snapshots, not sums)
+    _PEAK_METERS = frozenset({
+        "peak_worker_memory_bytes", "total_memory_bytes",
+    })
+
+    def merge_delta(self, delta: Dict[str, float]) -> None:
+        """Apply one worker's per-superstep meter increments.
+
+        The parallel runtime's barrier reduce feeds each worker's echoed
+        increments through here **exactly once per worker per superstep**,
+        in ascending worker order — the same accumulation order as the
+        inline path, so float meters (``recovery_straggler_s``,
+        ``wall_time_s``) stay bit-identical, not just approximately equal.
+        Additive meters (logical + the quarantined ``recovery_*`` /
+        ``divergence_*`` families) are summed; peak meters are max-merged;
+        an unknown meter name raises ``ValueError`` so a typo can never
+        silently drop (or double-count) a meter.
+        """
+        for name, value in delta.items():
+            if name in self._ADDITIVE_METERS:
+                setattr(self, name, getattr(self, name) + value)
+            elif name in self._PEAK_METERS:
+                setattr(self, name, max(getattr(self, name), value))
+            else:
+                raise ValueError(f"unknown meter {name!r} in merge_delta")
+
     # ------------------------------------------------------------------
     @property
     def communication_mb(self) -> float:

@@ -239,7 +239,7 @@ class ScaleGEngine:
     """
 
     def __init__(self, dgraph: "DistributedGraph", contracts=None, faults=None,
-                 membership=None):
+                 membership=None, runtime=None):
         """``contracts``: ``None`` defers to the ``REPRO_CONTRACTS`` env
         flag, ``True``/``False`` force runtime contract checking on/off, or
         pass a :class:`~repro.analysis.runtime.ContractChecker` directly.
@@ -251,10 +251,16 @@ class ScaleGEngine:
         or :class:`~repro.faults.membership.FailoverCoordinator` enabling
         permanent-loss failover and guest anti-entropy; ``None``
         auto-attaches a default coordinator exactly when the fault plan
-        schedules losses or guest corruption."""
+        schedules losses or guest corruption.
+        ``runtime``: execution backend for the compute sweep — ``None`` /
+        ``"inline"`` (serial, the default), ``"process"`` (multi-process
+        :class:`~repro.runtime.parallel.ParallelRuntime`), or an
+        :class:`~repro.runtime.base.ExecutionBackend` instance (shared
+        backends stay owned by the caller)."""
         from repro.analysis.runtime import resolve_contracts
         from repro.faults.injector import resolve_faults
         from repro.faults.membership import resolve_membership
+        from repro.runtime import resolve_runtime
 
         self.dgraph = dgraph
         self._states: Dict[int, Any] = {}
@@ -263,12 +269,22 @@ class ScaleGEngine:
         self._faults = resolve_faults(faults)
         self._membership = membership
         self._failover = resolve_membership(membership, self._faults, dgraph)
+        self._runtime = resolve_runtime(runtime)
 
     @property
     def failover(self):
         """The attached failover coordinator (``None`` when neither the
         fault plan nor the caller asked for membership tracking)."""
         return self._failover
+
+    @property
+    def runtime(self):
+        """The execution backend driving this engine's compute sweeps."""
+        return self._runtime
+
+    def close(self) -> None:
+        """Release the execution backend's resources (worker processes)."""
+        self._runtime.close()
 
     def run(
         self,
@@ -316,7 +332,6 @@ class ScaleGEngine:
 
         self._ranked = program.rank_cache(graph)
         dgraph = self.dgraph
-        worker_of = dgraph.worker_of
         is_remote_pair = dgraph.is_remote_pair
         contracts = self._contracts
         if faults is not None:
@@ -340,9 +355,9 @@ class ScaleGEngine:
         # the O(active·deg) read-set sweep is only needed when the checker
         # actually snapshots (isolation on); otherwise skip it entirely
         check_isolation = contracts is not None and contracts.check_isolation
-        # one context reused across every compute call (programs may not
-        # retain it across supersteps — BSP discipline, enforced by lint)
-        ctx = ScaleGContext(self, 0, 0, None)
+        runtime = self._runtime
+        runtime.bind(self)
+        runtime.begin_run(program, states)
 
         superstep = 0
         ran_supersteps = 0
@@ -354,7 +369,7 @@ class ScaleGEngine:
                 if ran_supersteps >= max_supersteps:
                     raise SuperstepLimitExceeded(max_supersteps)
                 record = SuperstepRecord(superstep=superstep)
-                worker_work = record.worker_work = [0] * dgraph.num_workers
+                record.worker_work = [0] * dgraph.num_workers
 
                 checkpoint = None
                 if injector is not None:
@@ -370,54 +385,71 @@ class ScaleGEngine:
                         read_set.update(graph.neighbors(u))
                     contracts.begin_superstep(superstep, read_set, states)
 
-                new_states: Dict[int, Any] = {}
-                changed: List[int] = []
-                forced: List[int] = []
-                #: (source, plain targets, predicated targets) per requesting
-                #: vertex — no per-activation (src, dst, pred) tuples when no
-                #: predicate is registered
-                requests: List[Tuple[int, List[int], List[Tuple[int, Any]]]] = []
-                compute = program.compute
+                # parallel backends pre-draw the barrier's fault schedule
+                # so the owning worker processes observe their own faults;
+                # draws are pure keyed hashes + fire-once, so the values
+                # match what the inline barrier would draw below
+                draws = None
+                if injector is not None:
+                    draws = runtime.predraw(
+                        injector, superstep, dgraph.num_workers
+                    )
 
                 try:
-                    for u in active:
-                        ctx._reset(u, superstep, states[u])
-                        compute(ctx)
-                        work = ctx._work
-                        record.compute_work += work
-                        worker_work[worker_of(u)] += work if work > 1 else 1
-                        if ctx._changed:
-                            new_states[u] = ctx._new
-                            changed.append(u)
-                        elif ctx._force_sync:
-                            forced.append(u)
-                        if ctx._activations or ctx._pred_activations:
-                            requests.append(
-                                (u, ctx._activations, ctx._pred_activations)
-                            )
-                            ctx._activations = []
-                            ctx._pred_activations = []
+                    sweep = runtime.sweep_scaleg(active, superstep, draws)
+                    new_states = sweep.new_states
+                    changed = sweep.changed
+                    forced = sweep.forced
+                    requests = sweep.requests
+                    record.compute_work = sweep.compute_work
+                    record.worker_work = sweep.worker_work
                     record.active_vertices = len(active)
 
                     if injector is not None:
+                        if draws is not None and sweep.fault_echo != draws.echo():
+                            from repro.errors import ParallelRuntimeError
+
+                            raise ParallelRuntimeError(
+                                f"superstep {superstep}: worker fault echo "
+                                f"{sweep.fault_echo!r} disagrees with the "
+                                f"barrier draws {draws.echo()!r}"
+                            )
                         if failover is not None:
                             failover.view.advance()
                         # -- worker sweep: straggler delays (modelled time)
-                        for w in range(dgraph.num_workers):
-                            delay = injector.straggler_delay(superstep, w)
-                            if delay:
-                                own_metrics.recovery_straggler_s += delay
-                                own_metrics.wall_time_s += delay
-                            if failover is not None and not failover.is_dead(w):
-                                # injector delays are *flagged* stragglers:
-                                # the detector must never count them toward
-                                # suspicion (slow is not dead)
-                                failover.view.heartbeat(
-                                    w, delay_s=delay, injected=True
-                                )
+                        if draws is None:
+                            for w in range(dgraph.num_workers):
+                                delay = injector.straggler_delay(superstep, w)
+                                if delay:
+                                    own_metrics.recovery_straggler_s += delay
+                                    own_metrics.wall_time_s += delay
+                                if failover is not None and not failover.is_dead(w):
+                                    # injector delays are *flagged* stragglers:
+                                    # the detector must never count them toward
+                                    # suspicion (slow is not dead)
+                                    failover.view.heartbeat(
+                                        w, delay_s=delay, injected=True
+                                    )
+                        else:
+                            # pre-drawn path: apply each worker's echoed
+                            # increments exactly once, in ascending worker
+                            # order — the inline accumulation order, so the
+                            # float meters stay bit-identical
+                            for w, delay in enumerate(draws.delays):
+                                if delay:
+                                    own_metrics.merge_delta({
+                                        "recovery_straggler_s": delay,
+                                        "wall_time_s": delay,
+                                    })
+                                if failover is not None and not failover.is_dead(w):
+                                    failover.view.heartbeat(
+                                        w, delay_s=delay, injected=True
+                                    )
                         # -- barrier: permanent losses (silence, not delay)
-                        lost = injector.lost_workers(
-                            superstep, range(dgraph.num_workers)
+                        lost = draws.lost if draws is not None else (
+                            injector.lost_workers(
+                                superstep, range(dgraph.num_workers)
+                            )
                         )
                         if lost:
                             raise_loss = WorkerLoss(
@@ -428,8 +460,10 @@ class ScaleGEngine:
                             raise_loss.workers = lost
                             raise raise_loss
                         # -- barrier commit: crash detection
-                        crashed = injector.crashed_workers(
-                            superstep, range(dgraph.num_workers)
+                        crashed = draws.crashed if draws is not None else (
+                            injector.crashed_workers(
+                                superstep, range(dgraph.num_workers)
+                            )
                         )
                         if crashed:
                             failure = WorkerFailure(
@@ -490,6 +524,7 @@ class ScaleGEngine:
                     if u not in dirty:
                         dirty[u] = states[u]
                 states.update(new_states)
+                runtime.commit(new_states)
 
                 # --- charge state sync: once per (synced vertex, guest machine)
                 changed_set = set(changed)

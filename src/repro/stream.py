@@ -74,6 +74,12 @@ class StreamingSession:
         non-decreasing.
     on_window:
         Optional callback invoked with each :class:`WindowReport`.
+    close_maintainer:
+        When True, :meth:`close` (and context-manager exit) also calls the
+        maintainer's own ``close()`` if it has one — use this when the
+        session owns a maintainer running on the multi-process
+        :mod:`repro.runtime` backend, so the worker pool is torn down with
+        the stream.  Default False: the maintainer stays caller-owned.
     """
 
     def __init__(
@@ -82,6 +88,7 @@ class StreamingSession:
         window_size: int = 100,
         window_interval: Optional[float] = None,
         on_window: Optional[Callable[[WindowReport], None]] = None,
+        close_maintainer: bool = False,
     ):
         if window_size < 1:
             raise WorkloadError(f"window_size must be >= 1, got {window_size}")
@@ -91,6 +98,7 @@ class StreamingSession:
         self.window_size = window_size
         self.window_interval = window_interval
         self.on_window = on_window
+        self.close_maintainer = close_maintainer
         self.history: List[WindowReport] = []
         self._buffer: List[EdgeUpdate] = []
         self._window_start_ts: Optional[float] = None
@@ -214,10 +222,22 @@ class StreamingSession:
         return report
 
     def close(self) -> Optional[WindowReport]:
-        """Flush any remaining events and refuse further offers."""
+        """Flush any remaining events and refuse further offers.
+
+        With ``close_maintainer=True`` the maintainer's ``close()`` runs
+        after the final flush (releasing e.g. a
+        :class:`~repro.runtime.parallel.ParallelRuntime` worker pool).
+        """
         report = self.flush()
         self._closed = True
+        self._close_maintainer()
         return report
+
+    def _close_maintainer(self) -> None:
+        if self.close_maintainer:
+            closer = getattr(self.maintainer, "close", None)
+            if closer is not None:
+                closer()
 
     def __enter__(self) -> "StreamingSession":
         return self
@@ -227,6 +247,7 @@ class StreamingSession:
             self.close()
         else:
             self._closed = True
+            self._close_maintainer()
 
     # ------------------------------------------------------------------
     def totals(self) -> dict:

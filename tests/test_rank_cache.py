@@ -86,14 +86,43 @@ class TestDegreeOrderInvariant:
         assert_cache_consistent(graph, cache, key)
         assert 3 not in cache._entries and 3 not in cache._keys
 
-    def test_lazy_materialization_counts_rebuilds(self):
+    def test_shared_cache_bulk_builds_once(self):
+        # the graph's shared cache materializes everything at creation in
+        # ONE counted bulk build; queries afterwards never rebuild
         graph = erdos_renyi(30, 60, seed=1)
         cache = graph.rank_cache()
+        assert cache.rebuilds == 1
+        assert set(cache._entries) == set(graph.sorted_vertices())
+        cache.ranked_neighbors(0)
+        assert cache.rebuilds == 1
+        assert_cache_consistent(graph, cache, degree_rank_key(graph))
+
+    def test_lazy_materialization_counts_rebuilds(self):
+        # a detached (custom-key) cache keeps the lazy economy: one counted
+        # rebuild per first-touched vertex
+        graph = erdos_renyi(30, 60, seed=1)
+        cache = graph.attach_rank_cache(degree_rank_key(graph))
         assert cache.rebuilds == 0
         cache.ranked_neighbors(0)
         assert cache.rebuilds == 1
         cache.ranked_neighbors(0)  # served from cache
         assert cache.rebuilds == 1
+
+    def test_build_all_counts_one_bulk_build(self):
+        graph = erdos_renyi(30, 60, seed=1)
+        cache = graph.attach_rank_cache(degree_rank_key(graph))
+        cache.ranked_neighbors(0)  # one lazy materialization first
+        cache.build_all()
+        # rebuilds = bulk builds + lazy per-vertex materializations
+        assert cache.rebuilds == 2
+        assert set(cache._entries) == set(graph.sorted_vertices())
+        assert_cache_consistent(graph, cache, degree_rank_key(graph))
+        cache.build_all()  # idempotent on content, still counted as a build
+        assert cache.rebuilds == 3
+        # vertices born after the bulk pass materialize lazily again
+        graph.add_edge(1000, 1001)
+        cache.ranked_neighbors(1000)
+        assert_cache_consistent(graph, cache, degree_rank_key(graph))
 
 
 class TestCustomKey:
