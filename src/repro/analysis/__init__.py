@@ -1,4 +1,4 @@
-"""Static and runtime correctness tooling for vertex programs.
+"""Static and runtime correctness tooling for vertex programs and engines.
 
 The paper's central results (Theorems 4.1/4.2/6.1) are *determinism*
 claims: OIMIS/DOIMIS converge to the unique greedy fixpoint of the total
@@ -6,17 +6,26 @@ order ``≺`` regardless of execution or update order.  The proofs lean on a
 coding discipline the engines cannot enforce by construction — deterministic
 neighbour iteration, double-buffered state reads, activate-on-change,
 no cross-superstep aliasing of mutable state.  This package enforces that
-discipline two ways:
+discipline three ways:
 
 - :mod:`repro.analysis.linter` — an AST-based static linter over vertex
   programs and engine modules, reporting typed :class:`~repro.analysis.findings.Finding`
   objects for the rule families D1 (non-deterministic iteration), B1
-  (double-buffer violations), A1 (activation discipline) and S1 (sync
-  hygiene).  Exposed on the CLI as ``repro-mis lint``.
+  (double-buffer violations), A1 (activation discipline), S1 (sync
+  hygiene) and the parallel-safety P family — P1 (sweep purity), P2
+  (barrier ordering), P3 (frame hygiene), P4 (merge-once) from
+  :mod:`repro.analysis.parallel.rules`.  Exposed on the CLI as
+  ``repro-mis lint``.
 - :mod:`repro.analysis.runtime` — an opt-in :class:`ContractChecker` the
   engines call at superstep barriers (double-buffer isolation) and at
   convergence (independence + maximality of the reported set).  Enable with
   ``REPRO_CONTRACTS=1`` or an explicit ``contracts=`` engine argument.
+- :mod:`repro.analysis.parallel` — an opt-in :class:`RaceSanitizer` that
+  wraps the execution backend to record per-worker read/write vertex sets
+  each superstep and flag races (write–write overlap, non-owned writes,
+  mid-superstep commits, meter double-merges) with a keyed-hash trace log.
+  Enable with ``REPRO_SANITIZE=1`` or an explicit ``sanitize=`` engine
+  argument; drive over chaos scenarios with ``repro-mis sanitize``.
 """
 
 from repro.analysis.findings import (
@@ -24,9 +33,22 @@ from repro.analysis.findings import (
     Finding,
     Rule,
     render_json,
+    render_sarif,
     render_text,
 )
-from repro.analysis.linter import DEFAULT_RULES, lint_paths, lint_source
+from repro.analysis.linter import (
+    DEFAULT_LINT_PATHS,
+    DEFAULT_RULES,
+    default_lint_paths,
+    lint_paths,
+    lint_source,
+)
+from repro.analysis.parallel.sanitizer import (
+    RaceSanitizer,
+    SanitizedBackend,
+    resolve_sanitizer,
+    sanitize_enabled,
+)
 from repro.analysis.runtime import (
     ContractChecker,
     contracts_enabled,
@@ -39,10 +61,17 @@ __all__ = [
     "Finding",
     "render_text",
     "render_json",
+    "render_sarif",
     "DEFAULT_RULES",
+    "DEFAULT_LINT_PATHS",
+    "default_lint_paths",
     "lint_paths",
     "lint_source",
     "ContractChecker",
     "contracts_enabled",
     "resolve_contracts",
+    "RaceSanitizer",
+    "SanitizedBackend",
+    "resolve_sanitizer",
+    "sanitize_enabled",
 ]

@@ -87,6 +87,63 @@ RULES: Dict[str, Rule] = {
             ),
         ),
         Rule(
+            id="P1",
+            name="sweep-purity",
+            summary=(
+                "worker-side sweep code mutates engine/graph/metrics state "
+                "it did not create; writes must flow only through the "
+                "returned sweep delta"
+            ),
+            hint=(
+                "build the write into the ScaleGSweep/PregelSweep result "
+                "(new_states, changed, requests) and let the engine apply "
+                "it at the barrier; keep worker-local scratch self-rooted"
+            ),
+        ),
+        Rule(
+            id="P2",
+            name="barrier-ordering",
+            summary=(
+                "barrier reduce iterates worker/partition replies in "
+                "insertion or hash order; the fold must run in sorted "
+                "key order to stay bit-identical to the inline sweep"
+            ),
+            hint=(
+                "iterate sorted(d) or sorted(d.items()); never fold "
+                "d.values() — the key is lost and the order can never be "
+                "reimposed"
+            ),
+        ),
+        Rule(
+            id="P3",
+            name="frame-hygiene",
+            summary=(
+                "nondeterministic or unpicklable material on the worker "
+                "side of a pickle frame: closures, open handles, locks, "
+                "os.environ/wall-clock/unseeded-random reads"
+            ),
+            hint=(
+                "ship only module-level functions/classes and plain data; "
+                "draw randomness from a seeded generator or keyed hash "
+                "carried in the frame; keep clocks and environ on the "
+                "master"
+            ),
+        ),
+        Rule(
+            id="P4",
+            name="merge-once",
+            summary=(
+                "a RunMetrics.merge_delta site is reachable more than once "
+                "per worker per superstep (nested loops or a looped call "
+                "into a looping merger), double-folding a worker's meters"
+            ),
+            hint=(
+                "merge each worker's delta exactly once per barrier, in "
+                "ascending worker order; hoist the merge out of inner "
+                "loops or guard the call path"
+            ),
+        ),
+        Rule(
             id="E0",
             name="parse-error",
             summary="file could not be parsed as Python",
@@ -154,15 +211,64 @@ def parse_suppressions(source: str) -> Dict[int, Optional[Set[str]]]:
     return suppressed
 
 
+def statement_extents(tree) -> Dict[int, int]:
+    """Map continuation lines to the first physical line of their statement.
+
+    A disable comment lives on the *first* line of a wrapped statement, but
+    a finding inside the wrapped expression anchors to the line of its own
+    AST node — possibly a continuation line.  This maps every continuation
+    line of a multi-line statement to the statement's first line, with the
+    *innermost* covering statement winning, so a comment on a compound
+    header (``for``/``with``) covers its wrapped header expression but
+    never leaks into the body statements (each maps to its own first line).
+    """
+    import ast
+
+    spans = []
+    starts: Set[int] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.stmt):
+            continue
+        starts.add(node.lineno)
+        end = getattr(node, "end_lineno", None) or node.lineno
+        if end > node.lineno:
+            spans.append((node.lineno, end))
+    extents: Dict[int, int] = {}
+    # ascending start order: inner (later-starting) statements overwrite
+    # the outer statement's claim on their lines
+    for start, end in sorted(spans):
+        for line in range(start + 1, end + 1):
+            extents[line] = start
+    # a line that begins its own statement is never a continuation line
+    for line in sorted(starts):
+        extents.pop(line, None)
+    return extents
+
+
 def apply_suppressions(
-    findings: Sequence[Finding], suppressed: Dict[int, Optional[Set[str]]]
+    findings: Sequence[Finding],
+    suppressed: Dict[int, Optional[Set[str]]],
+    extents: Optional[Dict[int, int]] = None,
 ) -> List[Finding]:
-    """Drop findings whose line carries a matching disable comment."""
+    """Drop findings silenced by a matching disable comment.
+
+    A comment silences findings on its own line and — when ``extents`` (from
+    :func:`statement_extents`) is given — findings anchored to continuation
+    lines of the statement it heads.
+    """
+
+    def silenced(line: int, rule: str) -> bool:
+        rules = suppressed.get(line, ())
+        return rules is None or rule in rules
+
     kept: List[Finding] = []
     for finding in findings:
-        rules = suppressed.get(finding.line, ())
-        if rules is None or finding.rule in rules:
+        if silenced(finding.line, finding.rule):
             continue
+        if extents:
+            first = extents.get(finding.line)
+            if first is not None and silenced(first, finding.rule):
+                continue
         kept.append(finding)
     return kept
 
@@ -193,3 +299,69 @@ def render_json(findings: Sequence[Finding]) -> str:
         },
         indent=2,
     )
+
+
+def render_sarif(findings: Sequence[Finding]) -> str:
+    """SARIF 2.1.0 report (what CI uses to annotate PR diffs).
+
+    Built from the same :class:`Finding` objects as the text/JSON
+    renderers — the finding stays the single source of truth; this only
+    reshapes it into the SARIF ``runs[].results[]`` schema.  Every
+    registered rule is declared in the driver's rule table so viewers can
+    show the summary/hint even for rules with no findings in this run.
+    """
+    results = []
+    for finding in findings:
+        message = finding.message
+        if finding.hint:
+            message = f"{message} [fix: {finding.hint}]"
+        results.append(
+            {
+                "ruleId": finding.rule,
+                "level": "error",
+                "message": {"text": message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": finding.path.replace("\\", "/"),
+                            },
+                            "region": {
+                                "startLine": max(finding.line, 1),
+                                "startColumn": max(finding.col, 1),
+                            },
+                        }
+                    }
+                ],
+                "partialFingerprints": {
+                    "reproLint/v1": (
+                        f"{finding.rule}:{finding.path}:"
+                        f"{finding.line}:{finding.col}:{finding.symbol}"
+                    ),
+                },
+            }
+        )
+    document = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "rules": [
+                            {
+                                "id": rule.id,
+                                "name": rule.name,
+                                "shortDescription": {"text": rule.summary},
+                                "help": {"text": rule.hint},
+                            }
+                            for rule in RULES.values()
+                        ],
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=2)

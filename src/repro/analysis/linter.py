@@ -6,7 +6,8 @@ Public API:
 - :func:`lint_file` — lint one file on disk.
 - :func:`lint_paths` — lint files and directory trees (what the CLI calls).
 
-Rule selection is by id (``D1``, ``B1``, ``A1``, ``S1``); the ``E0`` parse
+Rule selection is by id (``D1``, ``B1``, ``A1``, ``S1``, ``P1``..``P4``)
+or by family letter (``P`` expands to every P rule); the ``E0`` parse
 finding is always emitted for unparseable files so a lint run can never
 silently skip code.
 """
@@ -21,26 +22,47 @@ from repro.analysis.findings import (
     Finding,
     apply_suppressions,
     parse_suppressions,
+    statement_extents,
 )
+from repro.analysis.parallel.rules import check_parallel
 from repro.analysis.rules_contract import check_contracts
 from repro.analysis.rules_determinism import check_determinism
 
 #: rule families enabled when no explicit selection is given
-DEFAULT_RULES = ("D1", "B1", "A1", "S1")
+DEFAULT_RULES = ("D1", "B1", "A1", "S1", "P1", "P2", "P3", "P4")
+
+#: what ``lint_paths(None)`` (and the bare CLI) targets, relative to the
+#: repo root: the whole engine surface — vertex programs, both engines,
+#: the execution backends, and the fault/recovery machinery.  Overlapping
+#: entries are harmless (files dedupe by real path); listing ``runtime``
+#: and ``faults`` explicitly keeps them covered even if the tree is ever
+#: linted from a narrower checkout.
+DEFAULT_LINT_PATHS = ("src/repro", "src/repro/runtime", "src/repro/faults")
 
 #: directory names never descended into
 _SKIP_DIRS = {"__pycache__", ".git", ".pytest_cache", ".ruff_cache"}
 
 
 def _normalize_rules(rules: Optional[Iterable[str]]) -> Set[str]:
+    """Uppercase, expand family letters, and validate a rule selection."""
     if rules is None:
         return set(DEFAULT_RULES)
-    normalized = {r.strip().upper() for r in rules if r and r.strip()}
-    unknown = normalized - set(DEFAULT_RULES)
-    if unknown:
-        raise ValueError(
-            f"unknown lint rule(s) {sorted(unknown)}; known: {list(DEFAULT_RULES)}"
-        )
+    known = set(DEFAULT_RULES)
+    normalized: Set[str] = set()
+    for token in rules:
+        if not token or not token.strip():
+            continue
+        token = token.strip().upper()
+        family = {r for r in known if r.startswith(token)}
+        if token in known:
+            normalized.add(token)
+        elif family:
+            normalized.update(family)
+        else:
+            raise ValueError(
+                f"unknown lint rule(s) [{token!r}]; "
+                f"known: {list(DEFAULT_RULES)}"
+            )
     return normalized
 
 
@@ -69,8 +91,25 @@ def lint_source(
     if "D1" in enabled:
         findings.extend(check_determinism(tree, path, source))
     findings.extend(check_contracts(tree, path, enabled))
-    findings = apply_suppressions(findings, parse_suppressions(source))
-    return sorted(findings, key=lambda f: f.sort_key)
+    findings.extend(check_parallel(tree, path, source, enabled))
+    findings = apply_suppressions(
+        findings, parse_suppressions(source), statement_extents(tree)
+    )
+    return sorted(_dedupe(findings), key=lambda f: f.sort_key)
+
+
+def _dedupe(findings: Iterable[Finding]) -> List[Finding]:
+    """One finding per ``(rule, path, line, col)`` — however many entry
+    modules or rule passes reported it, it renders once."""
+    seen: Set[tuple] = set()
+    unique: List[Finding] = []
+    for finding in findings:
+        key = (finding.rule, finding.path, finding.line, finding.col)
+        if key in seen:
+            continue
+        seen.add(key)
+        unique.append(finding)
+    return unique
 
 
 def lint_file(path: str, rules: Optional[Iterable[str]] = None) -> List[Finding]:
@@ -81,9 +120,20 @@ def lint_file(path: str, rules: Optional[Iterable[str]] = None) -> List[Finding]
 
 
 def _iter_python_files(paths: Sequence[str]) -> Iterator[str]:
+    seen: Set[str] = set()
+
+    def once(candidate: str) -> Optional[str]:
+        real = os.path.realpath(candidate)
+        if real in seen:
+            return None
+        seen.add(real)
+        return candidate
+
     for path in paths:
         if os.path.isfile(path):
-            yield path
+            kept = once(path)
+            if kept is not None:
+                yield kept
             continue
         if not os.path.isdir(path):
             # a typo'd path must not lint as "no findings"
@@ -94,15 +144,32 @@ def _iter_python_files(paths: Sequence[str]) -> Iterator[str]:
             )
             for name in sorted(files):
                 if name.endswith(".py"):
-                    yield os.path.join(root, name)
+                    kept = once(os.path.join(root, name))
+                    if kept is not None:
+                        yield kept
+
+
+def default_lint_paths() -> List[str]:
+    """The existing entries of :data:`DEFAULT_LINT_PATHS` (cwd-relative)."""
+    existing = [p for p in DEFAULT_LINT_PATHS if os.path.isdir(p)]
+    return existing or ["."]
 
 
 def lint_paths(
-    paths: Sequence[str], rules: Optional[Iterable[str]] = None
+    paths: Optional[Sequence[str]] = None,
+    rules: Optional[Iterable[str]] = None,
 ) -> List[Finding]:
-    """Lint files and directory trees; returns all findings, sorted."""
+    """Lint files and directory trees; returns all findings, sorted.
+
+    ``paths=None`` (or empty) lints :data:`DEFAULT_LINT_PATHS`.  The same
+    file reached through two entry paths (overlapping directories, a
+    symlink, an explicit file inside a listed tree) is linted — and its
+    findings rendered — exactly once.
+    """
+    if not paths:
+        paths = default_lint_paths()
     enabled = _normalize_rules(rules)
     findings: List[Finding] = []
     for file_path in _iter_python_files(paths):
         findings.extend(lint_file(file_path, rules=enabled))
-    return sorted(findings, key=lambda f: f.sort_key)
+    return sorted(_dedupe(findings), key=lambda f: f.sort_key)

@@ -20,10 +20,15 @@ Subcommands
 ``bench-perf`` run the seeded perf microbenchmarks, writing (or, with
                ``--check``, diffing against) the committed
                ``BENCH_core.json`` baseline.
-``lint``       statically check vertex programs for BSP discipline
-               violations (non-deterministic iteration, double-buffer
-               breaches, activation discipline, sync hygiene); exits
-               non-zero when findings remain.
+``lint``       statically check vertex programs and the runtime layer for
+               BSP discipline violations (non-deterministic iteration,
+               double-buffer breaches, activation discipline, sync hygiene,
+               and the parallel-safety P family: sweep purity, barrier
+               ordering, frame hygiene, merge-once); exits non-zero when
+               findings remain.
+``sanitize``   replay chaos workloads with the superstep race sanitizer
+               wrapped around the execution backend; exits non-zero on any
+               recorded race or bit-identity drift vs the inline reference.
 
 Examples
 --------
@@ -219,25 +224,84 @@ def _cmd_datasets(args: argparse.Namespace) -> int:
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
-    import os
-
-    from repro.analysis import lint_paths, render_json, render_text
+    from repro.analysis import lint_paths, render_json, render_sarif, render_text
 
     rules = None
-    if args.rules:
+    if args.rules or args.family:
         rules = [r for chunk in args.rules for r in chunk.split(",")]
-    paths = args.paths or ["src/repro" if os.path.isdir("src/repro") else "."]
+        rules.extend(args.family)
     try:
-        findings = lint_paths(paths, rules=rules)
+        findings = lint_paths(args.paths or None, rules=rules)
     except ValueError as exc:  # unknown rule id
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except OSError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    render = render_json if args.format == "json" else render_text
-    print(render(findings))
+    renderers = {
+        "json": render_json,
+        "sarif": render_sarif,
+        "text": render_text,
+    }
+    print(renderers[args.format](findings))
     return 1 if findings else 0
+
+
+def _cmd_sanitize(args: argparse.Namespace) -> int:
+    from repro.analysis.parallel import sanitize_suite
+    from repro.faults.chaos import CHAOS_WORKLOADS, PLAN_PRESETS
+
+    presets = args.preset or ["none"]
+    for preset in presets:
+        if preset not in PLAN_PRESETS:
+            print(
+                f"error: unknown chaos preset {preset!r}; "
+                f"known: {', '.join(PLAN_PRESETS)}",
+                file=sys.stderr,
+            )
+            return 2
+    workloads = CHAOS_WORKLOADS
+    if args.workload:
+        by_name = {w.name: w for w in CHAOS_WORKLOADS}
+        missing = [name for name in args.workload if name not in by_name]
+        if missing:
+            print(
+                f"error: unknown workload(s) {missing}; "
+                f"known: {', '.join(by_name)}",
+                file=sys.stderr,
+            )
+            return 2
+        workloads = tuple(by_name[name] for name in args.workload)
+    results = sanitize_suite(
+        presets=presets,
+        seeds=args.seed or list(range(args.seeds)),
+        procs=args.procs,
+        workloads=workloads,
+        start_method=args.start_method,
+    )
+    if args.format == "json":
+        print(json.dumps([r.as_dict() for r in results], indent=2))
+    else:
+        print(f"{'workload':20} {'preset':16} {'seed':>4} {'procs':>5} "
+              f"{'checked':>8} {'races':>6} {'verdict'}")
+        for r in results:
+            verdict = "ok" if r.ok else "FAIL"
+            print(f"{r.workload:20} {r.preset:16} {r.seed:>4} {r.procs:>5} "
+                  f"{r.supersteps_checked:>8} {len(r.races):>6} {verdict}  "
+                  f"trace={r.trace_digest}")
+            for race in r.races:
+                print(f"    - {race}")
+            for failure in r.failures:
+                print(f"    - {failure}")
+    bad = [r for r in results if not r.ok]
+    summary_stream = sys.stderr if args.format == "json" else sys.stdout
+    if bad:
+        print(f"{len(bad)}/{len(results)} sanitize case(s) reported races "
+              "or broke bit-identity", file=sys.stderr)
+        return 1
+    print(f"ok: {len(results)} sanitize case(s) ran race-free and "
+          "bit-identical to the inline reference", file=summary_stream)
+    return 0
 
 
 def _cmd_bench_perf(args: argparse.Namespace) -> int:
@@ -494,14 +558,60 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument(
         "paths", nargs="*",
-        help="files or directories to lint (default: src/repro)",
+        help="files or directories to lint (default: the engine surface — "
+        "src/repro plus src/repro/runtime and src/repro/faults)",
     )
-    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="report format (sarif emits SARIF 2.1.0 for CI annotation)",
+    )
     lint.add_argument(
         "--rules", action="append", default=[], metavar="IDS",
-        help="comma-separated rule ids to enable (default: all of D1,B1,A1,S1)",
+        help="comma-separated rule ids to enable (default: all of "
+        "D1,B1,A1,S1,P1..P4)",
+    )
+    lint.add_argument(
+        "--family", action="append", default=[], metavar="LETTER",
+        help="enable a whole rule family by letter (e.g. --family P for "
+        "P1..P4; repeatable, combines with --rules)",
     )
     lint.set_defaults(fn=_cmd_lint)
+
+    sanitize = sub.add_parser(
+        "sanitize",
+        help="run chaos workloads under the superstep race sanitizer and "
+        "assert zero races + bit-identity with the inline reference",
+    )
+    sanitize.add_argument(
+        "preset", nargs="*",
+        help="chaos preset(s) to run under the sanitizer (default: none — "
+        "the fault-free schedule)",
+    )
+    sanitize.add_argument(
+        "--procs", type=int, default=2, metavar="N",
+        help="worker process count for the sanitized run (1 = inline; "
+        "default: 2)",
+    )
+    sanitize.add_argument(
+        "--workload", action="append", metavar="NAME",
+        help="run only this chaos workload (repeatable; default: all)",
+    )
+    sanitize.add_argument(
+        "--seeds", type=int, default=1,
+        help="sweep plan seeds 0..N-1 (default: 1)",
+    )
+    sanitize.add_argument(
+        "--seed", action="append", type=int, metavar="S",
+        help="run exactly this plan seed (repeatable; overrides --seeds)",
+    )
+    sanitize.add_argument(
+        "--start-method", choices=("spawn", "fork", "forkserver"),
+        default=None,
+        help="multiprocessing start method for the worker pool "
+        "(default: spawn)",
+    )
+    sanitize.add_argument("--format", choices=("table", "json"), default="table")
+    sanitize.set_defaults(fn=_cmd_sanitize)
 
     return parser
 

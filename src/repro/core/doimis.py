@@ -82,6 +82,12 @@ class DOIMISMaintainer:
         :class:`~repro.runtime.base.ExecutionBackend` instance.  Call
         :meth:`close` (or use the maintainer as a context manager) when a
         process runtime is attached.
+    sanitize:
+        ``None`` defers to the ``REPRO_SANITIZE`` env flag, ``True``/
+        ``False`` force the superstep race sanitizer on/off, or pass a
+        :class:`~repro.analysis.parallel.RaceSanitizer` — the engine's
+        backend is then wrapped to record per-worker read/write sets each
+        superstep and flag races (see :mod:`repro.analysis.parallel`).
     """
 
     def __init__(
@@ -97,13 +103,14 @@ class DOIMISMaintainer:
         faults=None,
         membership=None,
         runtime=None,
+        sanitize=None,
     ):
         self._dgraph = DistributedGraph(
             graph, partitioner or HashPartitioner(num_workers)
         )
         self._engine = ScaleGEngine(
             self._dgraph, faults=faults, membership=membership,
-            runtime=runtime,
+            runtime=runtime, sanitize=sanitize,
         )
         self._program = program if program is not None else OIMISProgram(
             strategy=strategy, full_scan=full_scan
@@ -153,6 +160,11 @@ class DOIMISMaintainer:
     def runtime(self):
         """The engine's execution backend (inline by default)."""
         return self._engine.runtime
+
+    @property
+    def sanitizer(self):
+        """The engine's race sanitizer (``None`` when sanitizing is off)."""
+        return self._engine.sanitizer
 
     def close(self) -> None:
         """Release the execution backend (stops worker processes when the

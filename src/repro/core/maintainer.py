@@ -48,6 +48,7 @@ class MISMaintainer(DOIMISMaintainer):
         faults=None,
         membership=None,
         runtime=None,
+        sanitize=None,
     ):
         super().__init__(
             graph,
@@ -59,6 +60,7 @@ class MISMaintainer(DOIMISMaintainer):
             faults=faults,
             membership=membership,
             runtime=runtime,
+            sanitize=sanitize,
         )
 
     @classmethod

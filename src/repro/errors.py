@@ -183,6 +183,40 @@ class ContractViolation(EngineError):
         self.vertex = vertex
 
 
+class RaceViolation(EngineError):
+    """Raised by the runtime race sanitizer when a superstep breaks the
+    parallel execution discipline.
+
+    ``check`` names the violated invariant (``"mid-superstep-commit"``,
+    ``"write-write-overlap"``, ``"non-owned-write"``, ``"meter-double-merge"``);
+    ``superstep`` and ``vertex``/``worker`` localize it when known.  See
+    :mod:`repro.analysis.parallel.sanitizer` for what each check asserts.
+    """
+
+    def __init__(
+        self,
+        check: str,
+        detail: str,
+        superstep: "int | None" = None,
+        vertex: "int | None" = None,
+        worker: "int | None" = None,
+    ):
+        where = []
+        if superstep is not None:
+            where.append(f"superstep {superstep}")
+        if worker is not None:
+            where.append(f"worker {worker}")
+        if vertex is not None:
+            where.append(f"vertex {vertex}")
+        suffix = f" ({', '.join(where)})" if where else ""
+        super().__init__(f"race sanitizer: {check}{suffix}: {detail}")
+        self.check = check
+        self.detail = detail
+        self.superstep = superstep
+        self.vertex = vertex
+        self.worker = worker
+
+
 class WorkloadError(ReproError):
     """Raised when an update workload cannot be generated as requested."""
 

@@ -178,7 +178,8 @@ def _logical_fingerprint(metrics) -> Dict[str, int]:
 
 
 def _run_maintenance(
-    workload: ChaosWorkload, faults=None, membership=None
+    workload: ChaosWorkload, faults=None, membership=None,
+    runtime=None, sanitize=None,
 ) -> Tuple[DOIMISMaintainer, Any]:
     graph, ops = _build_case(workload)
     maintainer = DOIMISMaintainer(
@@ -187,8 +188,14 @@ def _run_maintenance(
         strategy=ActivationStrategy.SAME_STATUS,
         faults=faults,
         membership=membership,
+        runtime=runtime,
+        sanitize=sanitize,
     )
-    maintainer.apply_stream(ops, batch_size=workload.batch_size)
+    try:
+        maintainer.apply_stream(ops, batch_size=workload.batch_size)
+    finally:
+        if runtime is not None:
+            maintainer.close()
     return maintainer, maintainer.update_metrics
 
 

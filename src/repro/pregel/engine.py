@@ -159,7 +159,7 @@ class PregelEngine:
     """Executes a :class:`PregelProgram` over a :class:`DistributedGraph`."""
 
     def __init__(self, dgraph: "DistributedGraph", contracts=None, faults=None,
-                 membership=None, runtime=None):
+                 membership=None, runtime=None, sanitize=None):
         """``contracts``: ``None`` defers to the ``REPRO_CONTRACTS`` env
         flag, ``True``/``False`` force runtime contract checking on/off, or
         pass a :class:`~repro.analysis.runtime.ContractChecker` directly.
@@ -175,7 +175,11 @@ class PregelEngine:
         losses.
         ``runtime``: execution backend for the compute sweep — ``None`` /
         ``"inline"`` (serial, the default), ``"process"``, or an
-        :class:`~repro.runtime.base.ExecutionBackend` instance."""
+        :class:`~repro.runtime.base.ExecutionBackend` instance.
+        ``sanitize``: ``None`` defers to the ``REPRO_SANITIZE`` env flag,
+        ``True``/``False`` force the superstep race sanitizer on/off, or
+        pass a :class:`~repro.analysis.parallel.RaceSanitizer` directly."""
+        from repro.analysis.parallel.sanitizer import resolve_sanitizer
         from repro.analysis.runtime import resolve_contracts
         from repro.faults.injector import resolve_faults
         from repro.faults.membership import resolve_membership
@@ -188,7 +192,11 @@ class PregelEngine:
         self._faults = resolve_faults(faults)
         self._membership = membership
         self._failover = resolve_membership(membership, self._faults, dgraph)
-        self._runtime = resolve_runtime(runtime)
+        self._sanitizer = resolve_sanitizer(sanitize)
+        backend = resolve_runtime(runtime)
+        if self._sanitizer is not None:
+            backend = self._sanitizer.wrap(backend)
+        self._runtime = backend
 
     @property
     def failover(self):
@@ -200,6 +208,11 @@ class PregelEngine:
     def runtime(self):
         """The execution backend driving this engine's compute sweeps."""
         return self._runtime
+
+    @property
+    def sanitizer(self):
+        """The attached race sanitizer (``None`` when sanitizing is off)."""
+        return self._sanitizer
 
     def close(self) -> None:
         """Release the execution backend's resources (worker processes)."""
@@ -276,6 +289,9 @@ class PregelEngine:
         runtime = self._runtime
         runtime.bind(self)
         runtime.begin_run(program, states)
+        sanitizer = self._sanitizer
+        if sanitizer is not None:
+            sanitizer.begin_engine_run(metrics, self.dgraph.num_workers)
 
         inbox: Dict[int, List[Any]] = {}
         #: wire bytes delivered per destination last superstep — the cost of
@@ -498,9 +514,12 @@ class PregelEngine:
         except BaseException:
             # leave no partial superstep behind: callers resuming from
             # ``states`` (dynamic maintenance) see their run-entry values
-            for u, value in dirty.items():
+            for u, value in sorted(dirty.items()):
                 states[u] = value
             raise
+        finally:
+            if sanitizer is not None:
+                sanitizer.end_engine_run(metrics)
 
         if self._contracts is not None:
             members = program.contract_members(states)
@@ -538,7 +557,7 @@ class PregelEngine:
         states: Dict[int, Any],
         inbox: Dict[int, List[Any]],
     ) -> Dict[int, int]:
-        state_bytes = {u: program.state_bytes(s) for u, s in states.items()}
+        state_bytes = {u: program.state_bytes(s) for u, s in sorted(states.items())}
         per_worker = self.dgraph.structural_memory_bytes(state_bytes)
         for dest, payloads in inbox.items():
             per_worker[self.dgraph.worker_of(dest)] += 16 * len(payloads)

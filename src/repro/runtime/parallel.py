@@ -138,6 +138,29 @@ class _WorkerHost:
         self._aggregators = _WorkerAggregators()
         self._scaleg_ctx = None
 
+    def scaleg_context(self):
+        """The worker-local (cached) ScaleG compute context."""
+        ctx = self._scaleg_ctx
+        if ctx is None:
+            from repro.scaleg.engine import ScaleGContext
+
+            ctx = self._scaleg_ctx = ScaleGContext(self, 0, 0, None)
+        return ctx
+
+    def begin_pregel_sweep(self, prev_agg):
+        """Arm the aggregator view with last barrier's values; return it."""
+        aggs = self._aggregators
+        aggs.previous_values = prev_agg
+        return aggs
+
+    def begin_vertex(self):
+        """Fresh per-vertex outbox and aggregator sink, installed and returned."""
+        outbox: List[Any] = []
+        sink: List[Any] = []
+        self._outbox = outbox
+        self._aggregators.sink = sink
+        return outbox, sink
+
 
 def _apply_graph_ops(graph, ops) -> None:
     """Replay the master's committed mutations on the replica.
@@ -158,11 +181,7 @@ def _apply_graph_ops(graph, ops) -> None:
 
 
 def _worker_sweep_scaleg(host, program, groups, superstep):
-    ctx = host._scaleg_ctx
-    if ctx is None:
-        from repro.scaleg.engine import ScaleGContext
-
-        ctx = host._scaleg_ctx = ScaleGContext(host, 0, 0, None)
+    ctx = host.scaleg_context()
     states = host._states
     compute = program.compute
     compute_work = 0
@@ -194,8 +213,7 @@ def _worker_sweep_pregel(host, program, groups, superstep, inbox, prev_agg):
     from repro.pregel.engine import PregelContext
 
     states = host._states
-    aggs = host._aggregators
-    aggs.previous_values = prev_agg
+    host.begin_pregel_sweep(prev_agg)
     compute = program.compute
     compute_work = 0
     per_lw: List[Tuple[int, int]] = []
@@ -203,8 +221,7 @@ def _worker_sweep_pregel(host, program, groups, superstep, inbox, prev_agg):
     for lw, vertices in groups:
         lw_work = 0
         for u in vertices:
-            host._outbox = outbox = []
-            aggs.sink = sink = []
+            outbox, sink = host.begin_vertex()
             ctx = PregelContext(host, u, superstep, inbox.get(u, []), states[u])
             compute(ctx)
             compute_work += ctx._work
@@ -350,7 +367,9 @@ class ParallelRuntime(ExecutionBackend):
                 self._pending_removals.add(u)
             for u in self._pending_removals:
                 mirror.pop(u, None)
-        for u, value in states.items():
+        # sorted: the upsert frame's item order (hence its bytes) must not
+        # depend on the states dict's insertion history
+        for u, value in sorted(states.items()):
             held = mirror.get(u, _MISSING)
             if held is _MISSING or held != value:
                 upserts[u] = value
@@ -658,7 +677,9 @@ class ParallelRuntime(ExecutionBackend):
             if was_changed:
                 new_states[u] = new_state
             for dest, payload_value, payload_bytes in msgs:
-                outbox.append(Message(u, dest, payload_value, payload_bytes))
+                # master-side barrier replay (not worker code): rebuilding
+                # the engine outbox in inline send order IS the sweep delta
+                outbox.append(Message(u, dest, payload_value, payload_bytes))  # repro-lint: disable=P1
             for name, value in sink:
                 contribute(name, value)
         return PregelSweep(

@@ -239,7 +239,7 @@ class ScaleGEngine:
     """
 
     def __init__(self, dgraph: "DistributedGraph", contracts=None, faults=None,
-                 membership=None, runtime=None):
+                 membership=None, runtime=None, sanitize=None):
         """``contracts``: ``None`` defers to the ``REPRO_CONTRACTS`` env
         flag, ``True``/``False`` force runtime contract checking on/off, or
         pass a :class:`~repro.analysis.runtime.ContractChecker` directly.
@@ -256,7 +256,13 @@ class ScaleGEngine:
         ``"inline"`` (serial, the default), ``"process"`` (multi-process
         :class:`~repro.runtime.parallel.ParallelRuntime`), or an
         :class:`~repro.runtime.base.ExecutionBackend` instance (shared
-        backends stay owned by the caller)."""
+        backends stay owned by the caller).
+        ``sanitize``: ``None`` defers to the ``REPRO_SANITIZE`` env flag,
+        ``True``/``False`` force the superstep race sanitizer on/off, or
+        pass a :class:`~repro.analysis.parallel.RaceSanitizer` directly;
+        when on, the backend is wrapped to record per-worker read/write
+        sets each superstep and flag races."""
+        from repro.analysis.parallel.sanitizer import resolve_sanitizer
         from repro.analysis.runtime import resolve_contracts
         from repro.faults.injector import resolve_faults
         from repro.faults.membership import resolve_membership
@@ -269,7 +275,11 @@ class ScaleGEngine:
         self._faults = resolve_faults(faults)
         self._membership = membership
         self._failover = resolve_membership(membership, self._faults, dgraph)
-        self._runtime = resolve_runtime(runtime)
+        self._sanitizer = resolve_sanitizer(sanitize)
+        backend = resolve_runtime(runtime)
+        if self._sanitizer is not None:
+            backend = self._sanitizer.wrap(backend)
+        self._runtime = backend
 
     @property
     def failover(self):
@@ -281,6 +291,11 @@ class ScaleGEngine:
     def runtime(self):
         """The execution backend driving this engine's compute sweeps."""
         return self._runtime
+
+    @property
+    def sanitizer(self):
+        """The attached race sanitizer (``None`` when sanitizing is off)."""
+        return self._sanitizer
 
     def close(self) -> None:
         """Release the execution backend's resources (worker processes)."""
@@ -358,6 +373,9 @@ class ScaleGEngine:
         runtime = self._runtime
         runtime.bind(self)
         runtime.begin_run(program, states)
+        sanitizer = self._sanitizer
+        if sanitizer is not None:
+            sanitizer.begin_engine_run(own_metrics, dgraph.num_workers)
 
         superstep = 0
         ran_supersteps = 0
@@ -620,9 +638,12 @@ class ScaleGEngine:
         except BaseException:
             # leave no partial superstep behind: callers resuming from
             # ``states`` (dynamic maintenance) see their run-entry values
-            for u, value in dirty.items():
+            for u, value in sorted(dirty.items()):
                 states[u] = value
             raise
+        finally:
+            if sanitizer is not None:
+                sanitizer.end_engine_run(own_metrics)
 
         if self._contracts is not None:
             members = program.contract_members(states)
@@ -701,5 +722,5 @@ class ScaleGEngine:
     def _memory_snapshot(
         self, program: ScaleGProgram, states: Dict[int, Any]
     ) -> Dict[int, int]:
-        state_bytes = {u: program.state_bytes(s) for u, s in states.items()}
+        state_bytes = {u: program.state_bytes(s) for u, s in sorted(states.items())}
         return self.dgraph.structural_memory_bytes(state_bytes)

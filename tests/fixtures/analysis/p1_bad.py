@@ -1,0 +1,13 @@
+"""Seeded P1 violations: a worker sweep mutating engine-owned state."""
+
+
+def _worker_sweep_demo(host, states, superstep):
+    local = []
+    cache = host._cache
+    for u in sorted(states):
+        states[u] = superstep
+        cache.append(u)
+        local.append(u)
+    host._superstep = superstep
+    del states[0]
+    return local

@@ -1,0 +1,14 @@
+"""Seeded P2 violations: unordered folds inside a barrier reduce."""
+
+
+class DemoEngine:
+    def _merge_replies(self, replies):
+        total = 0
+        for part in replies.values():
+            total += part
+        out = []
+        for w, part in replies.items():
+            out.append((w, part))
+        for w, part in sorted(replies.items()):
+            out.append((w, part))
+        return total, out

@@ -1,0 +1,23 @@
+"""Seeded P3 violations: ambient state and closures crossing a frame."""
+
+import os
+import random
+import threading
+import time
+
+
+def _worker_main_demo(conn):
+    seed = os.environ.get("SEED")
+    t0 = time.time()
+    jitter = random.random()
+    log = open("worker.log", "w")
+    lock = threading.Lock()
+    return seed, t0, jitter, log, lock
+
+
+def dispatch(_send_msg, conn, payload):
+    def reply(x):
+        return x + 1
+
+    _send_msg(conn, (reply, payload))
+    _send_msg(conn, (lambda x: x, payload))

@@ -1,0 +1,24 @@
+"""Seeded P4 violations: meters folded more than once per superstep."""
+
+
+def _merge_all(metrics, deltas):
+    for round_deltas in deltas:
+        for _w, delta in enumerate(round_deltas):
+            metrics.merge_delta(delta)
+
+
+def _merge_twice(metrics, deltas):
+    for delta in deltas:
+        metrics.merge_delta(delta)
+    for delta in deltas:
+        metrics.merge_delta(delta)
+
+
+def _merge_one(metrics, deltas):
+    for delta in deltas:
+        metrics.merge_delta(delta)
+
+
+def drain(metrics, batches):
+    for batch in batches:
+        _merge_one(metrics, batch)

@@ -139,3 +139,102 @@ def test_cli_lint_rules_flag(capsys):
     assert main(["lint", "--rules", "B1,S1", _fixture("b1_bad.py")]) == 1
     capsys.readouterr()
     assert main(["lint", "--rules", "Z9", _fixture("b1_bad.py")]) == 2
+
+
+def test_cli_lint_family_flag(capsys):
+    # family filter excludes other families' findings entirely
+    assert main(["lint", "--family", "P", _fixture("d1_bad.py")]) == 0
+    capsys.readouterr()
+    assert main(["lint", "--family", "P", _fixture("p1_bad.py")]) == 1
+    out = capsys.readouterr().out
+    assert "P1" in out
+
+
+def test_cli_lint_sarif_output(capsys):
+    from repro.analysis.findings import RULES as registry
+
+    assert main(["lint", "--format", "sarif", _fixture("d1_bad.py")]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["version"] == "2.1.0"
+    run = doc["runs"][0]
+    assert run["tool"]["driver"]["name"] == "repro-lint"
+    assert {r["id"] for r in run["tool"]["driver"]["rules"]} == set(registry)
+    results = run["results"]
+    assert [r["ruleId"] for r in results] == ["D1"] * 4
+    region = results[0]["locations"][0]["physicalLocation"]["region"]
+    assert region["startLine"] == 11
+    assert "reproLint/v1" in results[0]["partialFingerprints"]
+
+
+def test_sarif_stays_in_step_with_text_findings():
+    from repro.analysis import render_sarif
+
+    findings = lint_file(_fixture("s1_bad.py"))
+    doc = json.loads(render_sarif(findings))
+    results = doc["runs"][0]["results"]
+    assert len(results) == len(findings)
+    for finding, result in zip(findings, results):
+        assert result["ruleId"] == finding.rule
+        loc = result["locations"][0]["physicalLocation"]
+        assert loc["region"]["startLine"] == finding.line
+        assert finding.message in result["message"]["text"]
+
+
+# ---------------------------------------------------------------------------
+# deduplication: one finding per (rule, path, line, col), however reached
+# ---------------------------------------------------------------------------
+def test_overlapping_entry_paths_render_findings_once():
+    once = lint_paths([FIXTURES])
+    assert once  # the fixtures are seeded with violations
+    again = lint_paths([FIXTURES, FIXTURES, _fixture("d1_bad.py")])
+    assert again == once
+
+
+def test_symlinked_entry_module_renders_findings_once(tmp_path):
+    target = _fixture("d1_bad.py")
+    link = tmp_path / "aliased_entry.py"
+    try:
+        os.symlink(os.path.abspath(target), link)
+    except OSError:
+        pytest.skip("platform does not support symlinks")
+    direct = lint_paths([target])
+    both = lint_paths([target, str(link)])
+    assert both == direct
+
+
+# ---------------------------------------------------------------------------
+# suppressions on multi-line statements (comment on the first physical line)
+# ---------------------------------------------------------------------------
+def test_multiline_statement_suppression_covers_d1():
+    src = "x = (  # repro-lint: disable=D1\n    hash('k')\n)\n"
+    assert lint_source(src) == []
+    bare = src.replace("  # repro-lint: disable=D1", "")
+    findings = lint_source(bare)
+    assert [(f.rule, f.line) for f in findings] == [("D1", 2)]
+
+
+def test_multiline_suppression_is_rule_specific():
+    src = "x = (  # repro-lint: disable=S1\n    hash('k')\n)\n"
+    assert [(f.rule, f.line) for f in lint_source(src)] == [("D1", 2)]
+
+
+# ---------------------------------------------------------------------------
+# default lint targets
+# ---------------------------------------------------------------------------
+def test_default_lint_paths_cover_runtime_and_faults():
+    from repro.analysis import DEFAULT_LINT_PATHS
+
+    assert "src/repro/runtime" in DEFAULT_LINT_PATHS
+    assert "src/repro/faults" in DEFAULT_LINT_PATHS
+
+
+def test_default_lint_paths_fall_back_to_cwd(tmp_path, monkeypatch):
+    from repro.analysis import default_lint_paths
+
+    monkeypatch.chdir(tmp_path)
+    assert default_lint_paths() == ["."]
+    os.makedirs(tmp_path / "src" / "repro" / "runtime")
+    os.makedirs(tmp_path / "src" / "repro" / "faults")
+    assert default_lint_paths() == [
+        "src/repro", "src/repro/runtime", "src/repro/faults"
+    ]
