@@ -22,7 +22,11 @@ inline executor against the multi-process :mod:`repro.runtime` backend
 across ``procs`` ∈ {1, 2, 4, 8}, asserting bit-identical logical meters and
 recording the measured speedup curve (trend data, machine-dependent — the
 entry carries ``cpu_count`` so a 1-core runner's flat curve reads as what
-it is).
+it is).  ``csr_*`` scenarios run the same workloads on the flat-array CSR
+layout (:mod:`repro.graph.csr`), assert bit-identity against an in-scenario
+dict run, and record the speedup; ``csr_frames_*`` additionally compare the
+process runtime's barrier-frame byte traffic between pickled dict frames
+and shared-memory CSR deltas.
 """
 
 from __future__ import annotations
@@ -84,22 +88,23 @@ def _sections(members, metrics: RunMetrics, graph) -> Dict[str, Any]:
 # ---------------------------------------------------------------------------
 # scenarios (each returns the params echo plus logical/perf sections)
 # ---------------------------------------------------------------------------
-def _static_oimis(tag: str, runtime=None) -> Dict[str, Any]:
+def _static_oimis(tag: str, runtime=None, representation=None) -> Dict[str, Any]:
     graph = load_dataset(tag)
     run = run_oimis(graph, num_workers=10, strategy=ActivationStrategy.ALL,
-                    runtime=runtime)
+                    runtime=runtime, representation=representation)
     result = _sections(run.independent_set, run.metrics, graph)
     result["params"] = {"kind": "static_oimis", "dataset": tag,
                         "workers": 10, "strategy": "all"}
     return result
 
 
-def _fig10_single(tag: str, k: int, seed: int, runtime=None) -> Dict[str, Any]:
+def _fig10_single(tag: str, k: int, seed: int, runtime=None,
+                  representation=None) -> Dict[str, Any]:
     base = load_dataset(tag)
     ops = delete_reinsert_workload(base, k, seed=seed)
     maintainer = DOIMISMaintainer(
         base.copy(), num_workers=10, strategy=ActivationStrategy.SAME_STATUS,
-        runtime=runtime,
+        runtime=runtime, representation=representation,
     )
     maintainer.apply_stream(ops, batch_size=1)
     result = _sections(
@@ -112,11 +117,13 @@ def _fig10_single(tag: str, k: int, seed: int, runtime=None) -> Dict[str, Any]:
     return result
 
 
-def _fig10_single_scall(tag: str, k: int, seed: int, runtime=None) -> Dict[str, Any]:
+def _fig10_single_scall(tag: str, k: int, seed: int, runtime=None,
+                        representation=None) -> Dict[str, Any]:
     base = load_dataset(tag)
     ops = delete_reinsert_workload(base, k, seed=seed)
     maintainer = make_algorithm(
-        "SCALL", load_dataset(tag), num_workers=10, runtime=runtime
+        "SCALL", load_dataset(tag), num_workers=10, runtime=runtime,
+        representation=representation,
     )
     maintainer.apply_stream(ops, batch_size=1)
     result = _sections(
@@ -130,12 +137,12 @@ def _fig10_single_scall(tag: str, k: int, seed: int, runtime=None) -> Dict[str, 
 
 
 def _fig11_batch(tag: str, k: int, seed: int, batch_size: int,
-                 runtime=None) -> Dict[str, Any]:
+                 runtime=None, representation=None) -> Dict[str, Any]:
     base = load_dataset(tag)
     ops = delete_reinsert_workload(base, k, seed=seed)
     maintainer = DOIMISMaintainer(
         base.copy(), num_workers=10, strategy=ActivationStrategy.SAME_STATUS,
-        runtime=runtime,
+        runtime=runtime, representation=representation,
     )
     maintainer.apply_stream(ops, batch_size=batch_size)
     result = _sections(
@@ -213,6 +220,84 @@ def _runtime_static_oimis(tag: str) -> Dict[str, Any]:
     return result
 
 
+def _csr_vs_dict(build: Callable[[Any], Dict[str, Any]]) -> Dict[str, Any]:
+    """Run the same workload on the dict and csr layouts.
+
+    The csr run's sections become the scenario entry (its logical section is
+    pinned by ``--check`` like any other scenario); the dict run is the
+    bit-identity oracle — any divergence in a logical field or in
+    ``compute_work`` raises instead of being recorded.  The dict wall time
+    and the derived speedup ride along as trend data.
+    """
+    dict_entry = build("dict")
+    entry = build("csr")
+    if _stable_sections(dict_entry) != _stable_sections(entry):
+        raise RuntimeError(
+            "csr layout diverged from the dict reference: "
+            f"dict={_stable_sections(dict_entry)!r} "
+            f"csr={_stable_sections(entry)!r}"
+        )
+    dict_wall = dict_entry["perf"]["wall_time_s"]
+    csr_wall = entry["perf"]["wall_time_s"]
+    entry["params"]["representation"] = "csr"
+    entry["perf"]["representation"] = {
+        "dict_wall_time_s": dict_wall,
+        "speedup_vs_dict": round(dict_wall / csr_wall, 3) if csr_wall else 0.0,
+    }
+    return entry
+
+
+def _csr_frames_static_oimis(tag: str, procs: int = 2) -> Dict[str, Any]:
+    """Barrier-frame traffic: pickled snapshots vs shared-memory CSR.
+
+    Runs the same static computation over the process runtime twice — dict
+    layout (graph snapshot + per-sweep pickle frames) and csr layout
+    (shared-memory block + typed delta arrays) — and records each run's
+    frame byte counters with the reduction factor.  The csr run's logical
+    section is the pinned entry; the dict run is the bit-identity oracle.
+    Byte counters are trend data (wire framing may evolve), but the
+    *reduction* is the point of the scenario, so it is surfaced explicitly.
+    """
+    from repro.runtime import ParallelRuntime
+
+    entries: Dict[str, Dict[str, Any]] = {}
+    frames: Dict[str, Dict[str, int]] = {}
+    for rep in ("dict", "csr"):
+        graph = load_dataset(tag)
+        runtime = ParallelRuntime(procs=procs)
+        try:
+            runtime.prestart(num_partitions=10)
+            run = run_oimis(
+                graph, num_workers=10, strategy=ActivationStrategy.ALL,
+                runtime=runtime, representation=rep,
+            )
+            frames[rep] = runtime.frame_stats()
+        finally:
+            runtime.close()
+        entries[rep] = _sections(run.independent_set, run.metrics, graph)
+    if _stable_sections(entries["dict"]) != _stable_sections(entries["csr"]):
+        raise RuntimeError(
+            f"csr_frames_static_oimis_{tag}: csr layout diverged from the "
+            "dict reference over the process runtime"
+        )
+    entry = entries["csr"]
+    dict_total = (frames["dict"]["frame_bytes_sent"]
+                  + frames["dict"]["frame_bytes_received"])
+    csr_total = (frames["csr"]["frame_bytes_sent"]
+                 + frames["csr"]["frame_bytes_received"])
+    entry["params"] = {"kind": "csr_frames_static_oimis", "dataset": tag,
+                       "workers": 10, "strategy": "all", "procs": procs,
+                       "representation": "csr"}
+    entry["perf"]["frames"] = {
+        "procs": procs,
+        "dict": frames["dict"],
+        "csr": frames["csr"],
+        "bytes_reduction_factor": round(dict_total / csr_total, 3)
+        if csr_total else 0.0,
+    }
+    return entry
+
+
 SCENARIOS: Dict[str, Callable[[], Dict[str, Any]]] = {
     "static_oimis_SKI": lambda: _static_oimis("SKI"),
     "static_oimis_TW": lambda: _static_oimis("TW"),
@@ -222,6 +307,13 @@ SCENARIOS: Dict[str, Callable[[], Dict[str, Any]]] = {
     "fig11_batch_AM": lambda: _fig11_batch("AM", 100, 13, 20),
     "runtime_static_oimis_SKI": lambda: _runtime_static_oimis("SKI"),
     "runtime_static_oimis_TW": lambda: _runtime_static_oimis("TW"),
+    "csr_static_oimis_SKI": lambda: _csr_vs_dict(
+        lambda rep: _static_oimis("SKI", representation=rep)),
+    "csr_fig10_single_SKI": lambda: _csr_vs_dict(
+        lambda rep: _fig10_single("SKI", 60, 7, representation=rep)),
+    "csr_fig11_batch_TW": lambda: _csr_vs_dict(
+        lambda rep: _fig11_batch("TW", 150, 11, 25, representation=rep)),
+    "csr_frames_static_oimis_SKI": lambda: _csr_frames_static_oimis("SKI"),
 }
 
 

@@ -93,6 +93,11 @@ def _print_metrics(label: str, metrics) -> None:
 # subcommand implementations
 # ---------------------------------------------------------------------------
 def _cmd_compute(args: argparse.Namespace) -> int:
+    representation = getattr(args, "representation", None)
+    if representation == "csr" and args.algorithm != "oimis":
+        print("error: --representation csr is only supported for "
+              "--algorithm oimis", file=sys.stderr)
+        return 2
     graph = read_edge_list(args.graph)
     print(f"loaded {graph}")
     runtime = _resolve_cli_runtime(args)
@@ -100,12 +105,14 @@ def _cmd_compute(args: argparse.Namespace) -> int:
         if args.algorithm == "oimis":
             if args.engine == "pregel":
                 run = run_oimis_pregel(
-                    graph, num_workers=args.workers, runtime=runtime
+                    graph, num_workers=args.workers, runtime=runtime,
+                    representation=representation,
                 )
             else:
                 run = run_oimis(
                     graph, num_workers=args.workers,
                     strategy=_STRATEGIES[args.strategy], runtime=runtime,
+                    representation=representation,
                 )
             members = run.independent_set
             metrics = run.metrics
@@ -131,11 +138,13 @@ def _cmd_compute(args: argparse.Namespace) -> int:
 
 def _cmd_maintain(args: argparse.Namespace) -> int:
     runtime = _resolve_cli_runtime(args)
+    representation = getattr(args, "representation", None)
     if args.resume:
         # an explicit --workers must match the checkpoint's partitioning —
         # load() raises CheckpointError("partition mismatch: ...") otherwise
         maintainer = MISMaintainer.load(
-            args.resume, num_workers=args.workers, runtime=runtime
+            args.resume, num_workers=args.workers, runtime=runtime,
+            representation=representation,
         )
         print(f"resumed checkpoint: {maintainer.graph}, |M|={len(maintainer)}")
     else:
@@ -145,6 +154,7 @@ def _cmd_maintain(args: argparse.Namespace) -> int:
             num_workers=args.workers if args.workers is not None else 10,
             strategy=_STRATEGIES[args.strategy],
             runtime=runtime,
+            representation=representation,
         )
         print(f"loaded {maintainer.graph}; initial |M|={len(maintainer)}")
     with maintainer:
@@ -278,6 +288,7 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
         procs=args.procs,
         workloads=workloads,
         start_method=args.start_method,
+        representation=getattr(args, "representation", None),
     )
     if args.format == "json":
         print(json.dumps([r.as_dict() for r in results], indent=2))
@@ -353,7 +364,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             overrides["delta_log_depth"] = args.delta_log_depth
         membership = MembershipConfig(**overrides)
     results = chaos.chaos_suite(
-        presets=presets, seeds=seeds, membership=membership
+        presets=presets, seeds=seeds, membership=membership,
+        representation=getattr(args, "representation", None),
     )
     if args.format == "json":
         print(json.dumps([r.as_dict() for r in results], indent=2))
@@ -433,6 +445,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker process count for --runtime process "
         "(default: os.cpu_count())",
     )
+    compute.add_argument(
+        "--representation", choices=("dict", "csr"), default=None,
+        help="partition-local layout: dict (reference, default) or csr "
+        "(flat numpy arrays; bit-identical meters, oimis only; "
+        "default from REPRO_REPRESENTATION)",
+    )
     compute.add_argument("--output", "-o", help="write member ids to this file")
     compute.set_defaults(fn=_cmd_compute)
 
@@ -462,6 +480,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--procs", type=int, default=None, metavar="N",
         help="worker process count for --runtime process "
         "(default: os.cpu_count())",
+    )
+    maintain.add_argument(
+        "--representation", choices=("dict", "csr"), default=None,
+        help="partition-local layout: dict (reference, default) or csr "
+        "(flat numpy arrays; bit-identical meters; "
+        "default from REPRO_REPRESENTATION)",
     )
     maintain.add_argument("--output", "-o", help="write member ids to this file")
     maintain.set_defaults(fn=_cmd_maintain)
@@ -521,6 +545,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--delta-log-depth", type=int, default=None,
         help="uncompacted delta-log frames kept for solitary-vertex "
         "reconstruction (default: 8)",
+    )
+    chaos.add_argument(
+        "--representation", choices=("dict", "csr"), default=None,
+        help="partition-local layout for every case (default dict, or "
+        "REPRO_REPRESENTATION)",
     )
     chaos.add_argument("--format", choices=("table", "json"), default="table")
     chaos.set_defaults(fn=_cmd_chaos)
@@ -609,6 +638,11 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="multiprocessing start method for the worker pool "
         "(default: spawn)",
+    )
+    sanitize.add_argument(
+        "--representation", choices=("dict", "csr"), default=None,
+        help="partition-local layout for the sanitized run (default dict, "
+        "or REPRO_REPRESENTATION; the inline reference always runs dict)",
     )
     sanitize.add_argument("--format", choices=("table", "json"), default="table")
     sanitize.set_defaults(fn=_cmd_sanitize)

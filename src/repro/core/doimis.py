@@ -88,6 +88,11 @@ class DOIMISMaintainer:
         :class:`~repro.analysis.parallel.RaceSanitizer` — the engine's
         backend is then wrapped to record per-worker read/write sets each
         superstep and flag races (see :mod:`repro.analysis.parallel`).
+    representation:
+        Partition representation for the engine's sweeps — ``"dict"``
+        (the bit-identity reference) or ``"csr"`` (flat-array mirror,
+        vectorized sweeps + shared-memory worker frames); ``None``
+        defers to the ``REPRO_REPRESENTATION`` env flag.
     """
 
     def __init__(
@@ -104,13 +109,14 @@ class DOIMISMaintainer:
         membership=None,
         runtime=None,
         sanitize=None,
+        representation=None,
     ):
         self._dgraph = DistributedGraph(
             graph, partitioner or HashPartitioner(num_workers)
         )
         self._engine = ScaleGEngine(
             self._dgraph, faults=faults, membership=membership,
-            runtime=runtime, sanitize=sanitize,
+            runtime=runtime, sanitize=sanitize, representation=representation,
         )
         self._program = program if program is not None else OIMISProgram(
             strategy=strategy, full_scan=full_scan

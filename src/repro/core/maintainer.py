@@ -49,6 +49,7 @@ class MISMaintainer(DOIMISMaintainer):
         membership=None,
         runtime=None,
         sanitize=None,
+        representation=None,
     ):
         super().__init__(
             graph,
@@ -61,6 +62,7 @@ class MISMaintainer(DOIMISMaintainer):
             membership=membership,
             runtime=runtime,
             sanitize=sanitize,
+            representation=representation,
         )
 
     @classmethod

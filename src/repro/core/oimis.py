@@ -94,6 +94,16 @@ class OIMISProgram(ScaleGProgram):
     def state_bytes(self, state: bool) -> int:
         return STATUS_BYTES
 
+    def uniform_state_bytes(self) -> int:
+        return STATUS_BYTES
+
+    def csr_kernel(self):
+        from repro.graph.csr import OIMISKernel, numpy_available
+
+        if not numpy_available():  # pragma: no cover - numpy-less installs
+            return None
+        return OIMISKernel(self.strategy, self.full_scan)
+
     def contract_members(self, states: Dict[int, bool]) -> Set[int]:
         return independent_set_from_states(states)
 
@@ -163,6 +173,7 @@ def run_oimis(
     metrics: Optional[RunMetrics] = None,
     initial_states: Optional[Dict[int, bool]] = None,
     runtime=None,
+    representation=None,
 ) -> "OIMISRun":
     """Compute the independent set of a static graph with OIMIS on ScaleG.
 
@@ -171,12 +182,14 @@ def run_oimis(
     execution backend (``None``/``"inline"``, ``"process"``, or an
     :class:`~repro.runtime.base.ExecutionBackend`); a string-selected
     process runtime is closed before returning, a backend instance stays
-    owned by the caller.
+    owned by the caller.  ``representation`` selects the partition layout
+    (``"dict"``/``"csr"``, see :class:`~repro.scaleg.engine.ScaleGEngine`).
     """
     dgraph = DistributedGraph(
         graph, partitioner or HashPartitioner(num_workers)
     )
-    engine = ScaleGEngine(dgraph, runtime=runtime)
+    engine = ScaleGEngine(dgraph, runtime=runtime,
+                          representation=representation)
     program = OIMISProgram(strategy=strategy)
     states = dict(initial_states) if initial_states is not None else None
     try:
@@ -197,12 +210,19 @@ def run_oimis_pregel(
     partitioner=None,
     metrics: Optional[RunMetrics] = None,
     runtime=None,
+    representation=None,
 ) -> "OIMISRun":
-    """Compute the independent set with the message-passing variant."""
+    """Compute the independent set with the message-passing variant.
+
+    ``representation`` is accepted for engine parity; the message-passing
+    variant keeps per-vertex dict states (the broadcast cache), so it
+    validates the flag and stays on the dict hot path.
+    """
     dgraph = DistributedGraph(
         graph, partitioner or HashPartitioner(num_workers)
     )
-    engine = PregelEngine(dgraph, runtime=runtime)
+    engine = PregelEngine(dgraph, runtime=runtime,
+                          representation=representation)
     try:
         result = engine.run(OIMISPregelProgram(), metrics=metrics)
     finally:

@@ -179,7 +179,7 @@ def _logical_fingerprint(metrics) -> Dict[str, int]:
 
 def _run_maintenance(
     workload: ChaosWorkload, faults=None, membership=None,
-    runtime=None, sanitize=None,
+    runtime=None, sanitize=None, representation=None,
 ) -> Tuple[DOIMISMaintainer, Any]:
     graph, ops = _build_case(workload)
     maintainer = DOIMISMaintainer(
@@ -190,6 +190,7 @@ def _run_maintenance(
         membership=membership,
         runtime=runtime,
         sanitize=sanitize,
+        representation=representation,
     )
     try:
         maintainer.apply_stream(ops, batch_size=workload.batch_size)
@@ -199,9 +200,13 @@ def _run_maintenance(
     return maintainer, maintainer.update_metrics
 
 
-def reference_run(workload: ChaosWorkload) -> ChaosReference:
+def reference_run(
+    workload: ChaosWorkload, representation=None
+) -> ChaosReference:
     """The fault-free observables every chaos case compares against."""
-    maintainer, metrics = _run_maintenance(workload, faults=None)
+    maintainer, metrics = _run_maintenance(
+        workload, faults=None, representation=representation
+    )
     return ChaosReference(
         members=sorted(maintainer.independent_set()),
         logical=_logical_fingerprint(metrics),
@@ -215,6 +220,7 @@ def run_chaos_case(
     seed: int,
     reference: Optional[ChaosReference] = None,
     membership=None,
+    representation=None,
 ) -> ChaosCaseResult:
     """Replay ``workload`` under ``preset``'s seeded plan; check the oracle.
 
@@ -225,14 +231,15 @@ def run_chaos_case(
     reported on the result so a sweep surveys the whole grid.
     """
     if reference is None:
-        reference = reference_run(workload)
+        reference = reference_run(workload, representation=representation)
     result = ChaosCaseResult(workload=workload.name, preset=preset, seed=seed)
     plan = plan_for(preset, seed)
     injector = FaultInjector(plan)
 
     try:
         maintainer, metrics = _run_maintenance(
-            workload, faults=injector, membership=membership
+            workload, faults=injector, membership=membership,
+            representation=representation,
         )
     except ReproError as exc:
         # SyncRetryExhausted (drops beyond the retry budget) is the one
@@ -319,6 +326,7 @@ def chaos_suite(
     seeds: Iterable[int] = (0,),
     workloads: Sequence[ChaosWorkload] = CHAOS_WORKLOADS,
     membership=None,
+    representation=None,
 ) -> List[ChaosCaseResult]:
     """Sweep ``presets x seeds`` over ``workloads`` (reference once each).
 
@@ -336,13 +344,14 @@ def chaos_suite(
             )
     results: List[ChaosCaseResult] = []
     for workload in workloads:
-        reference = reference_run(workload)
+        reference = reference_run(workload, representation=representation)
         for preset in selected:
             for seed in seeds:
                 results.append(
                     run_chaos_case(
                         workload, preset, seed,
                         reference=reference, membership=membership,
+                        representation=representation,
                     )
                 )
     return results

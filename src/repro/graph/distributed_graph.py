@@ -34,10 +34,47 @@ class DistributedGraph:
         # _nbr_worker_counts[u][w] = number of u's neighbours hosted on w
         # (including u's own worker, so deletions stay O(1)).
         self._nbr_worker_counts: Dict[int, Dict[int, int]] = {}
+        # per-vertex guest-copy count and per-worker aggregates (home
+        # vertices, home degree sum, hosted guest copies), all kept in
+        # lock-step with the directory so `num_guest_copies` and the
+        # uniform memory snapshot are O(1)/O(num_workers)
+        self._guest_count: Dict[int, int] = {}
+        w = partitioner.num_workers
+        self._home_vertices: List[int] = [0] * w
+        self._home_degree_sum: List[int] = [0] * w
+        self._guest_copies: List[int] = [0] * w
+        # bulk build: identical arithmetic to add_vertex/_count_edge(+1),
+        # with home workers memoized (one hash per vertex instead of four
+        # per edge) and the guest bookkeeping specialized for the build-up
+        # case, where reference counts only ever grow
+        home: Dict[int, int] = {}
+        worker_of = partitioner.worker_of
+        counts_of = self._nbr_worker_counts
+        guest_count = self._guest_count
+        guest_copies = self._guest_copies
+        degree_sum = self._home_degree_sum
         for u in graph.vertices():
-            self._nbr_worker_counts[u] = {}
+            wu = worker_of(u)
+            home[u] = wu
+            counts_of[u] = {}
+            self._home_vertices[wu] += 1
         for u, v in graph.edges():
-            self._count_edge(u, v, +1)
+            wu = home[u]
+            wv = home[v]
+            cu = counts_of[u]
+            old = cu.get(wv, 0)
+            cu[wv] = old + 1
+            if old == 0 and wv != wu:
+                guest_count[u] = guest_count.get(u, 0) + 1
+                guest_copies[wv] += 1
+            cv = counts_of[v]
+            old = cv.get(wu, 0)
+            cv[wu] = old + 1
+            if old == 0 and wu != wv:
+                guest_count[v] = guest_count.get(v, 0) + 1
+                guest_copies[wu] += 1
+            degree_sum[wu] += 1
+            degree_sum[wv] += 1
 
     @classmethod
     def create(
@@ -79,7 +116,7 @@ class DistributedGraph:
         return [w for w, c in counts.items() if c > 0 and w != home]
 
     def num_guest_copies(self, u: int) -> int:
-        return len(self.guest_machines(u))
+        return self._guest_count.get(u, 0)
 
     def is_remote_pair(self, u: int, v: int) -> bool:
         """True when ``u`` and ``v`` live on different workers."""
@@ -90,7 +127,9 @@ class DistributedGraph:
     # ------------------------------------------------------------------
     def add_vertex(self, u: int) -> None:
         self._graph.add_vertex(u)
-        self._nbr_worker_counts.setdefault(u, {})
+        if u not in self._nbr_worker_counts:
+            self._nbr_worker_counts[u] = {}
+            self._home_vertices[self._partitioner.worker_of(u)] += 1
 
     def add_edge(self, u: int, v: int) -> Tuple[int, int]:
         """Insert edge ``(u, v)``.
@@ -100,8 +139,10 @@ class DistributedGraph:
         to a machine that had no replica before — the engines charge this).
         """
         self._graph.add_edge(u, v)
-        self._nbr_worker_counts.setdefault(u, {})
-        self._nbr_worker_counts.setdefault(v, {})
+        for end in (u, v):
+            if end not in self._nbr_worker_counts:
+                self._nbr_worker_counts[end] = {}
+                self._home_vertices[self._partitioner.worker_of(end)] += 1
         return self._count_edge(u, v, +1)
 
     def remove_edge(self, u: int, v: int) -> Tuple[int, int]:
@@ -117,7 +158,10 @@ class DistributedGraph:
             self.remove_edge(u, v)
             removed.append((u, v))
         self._graph.remove_vertex(u)
-        self._nbr_worker_counts.pop(u, None)
+        if u in self._nbr_worker_counts:
+            del self._nbr_worker_counts[u]
+            self._home_vertices[self._partitioner.worker_of(u)] -= 1
+        self._guest_count.pop(u, None)
         return removed
 
     def _count_edge(self, u: int, v: int, delta: int) -> Tuple[int, int]:
@@ -128,6 +172,8 @@ class DistributedGraph:
         """
         changed_u = self._bump(u, self._partitioner.worker_of(v), delta)
         changed_v = self._bump(v, self._partitioner.worker_of(u), delta)
+        self._home_degree_sum[self._partitioner.worker_of(u)] += delta
+        self._home_degree_sum[self._partitioner.worker_of(v)] += delta
         return (changed_u, changed_v)
 
     def _bump(self, u: int, worker: int, delta: int) -> int:
@@ -141,8 +187,12 @@ class DistributedGraph:
         if worker == self._partitioner.worker_of(u):
             return 0  # the home worker never holds a guest copy
         if old == 0 and new > 0:
+            self._guest_count[u] = self._guest_count.get(u, 0) + 1
+            self._guest_copies[worker] += 1
             return 1  # guest copy created
         if old > 0 and new == 0:
+            self._guest_count[u] = self._guest_count.get(u, 0) - 1
+            self._guest_copies[worker] -= 1
             return 1  # guest copy destroyed
         return 0
 
@@ -183,6 +233,20 @@ class DistributedGraph:
             for w in self.guest_machines(u):
                 per_worker[w] += GUEST_OVERHEAD_BYTES + state
         return per_worker
+
+    def structural_memory_bytes_uniform(self, state_bytes: int) -> Dict[int, int]:
+        """Closed-form :meth:`structural_memory_bytes` for programs whose
+        every state serializes to the same ``state_bytes`` — identical
+        integers, computed from the per-worker aggregates in
+        O(num_workers) instead of walking every vertex and guest copy."""
+        return {
+            w: (
+                self._home_vertices[w] * (VERTEX_OVERHEAD_BYTES + state_bytes)
+                + self._home_degree_sum[w] * ADJACENCY_ENTRY_BYTES
+                + self._guest_copies[w] * (GUEST_OVERHEAD_BYTES + state_bytes)
+            )
+            for w in range(self.num_workers)
+        }
 
     def worker_vertex_counts(self) -> Dict[int, int]:
         """Number of local vertices per worker (load-balance diagnostics)."""

@@ -139,6 +139,10 @@ class DynamicGraph:
     def has_vertex(self, u: int) -> bool:
         return u in self._adj
 
+    def vertex_keys(self):
+        """Live vertex-id keys view — C-level membership and set ops."""
+        return self._adj.keys()
+
     def vertices(self) -> Iterator[int]:
         """Iterate over all vertex ids (no ordering guarantee)."""
         return iter(self._adj)

@@ -103,6 +103,10 @@ class ScaleGSweep:
     #: (delays, lost, crashed) observed inside the worker processes;
     #: ``None`` for inline sweeps (the engine draws at the barrier itself)
     fault_echo: Optional[Tuple[Any, ...]] = None
+    #: :class:`~repro.graph.csr.CSRSweepExtras` when the sweep ran on the
+    #: array-native fast path — the engine then charges the barrier from
+    #: the typed delta arrays instead of ``requests`` (which stays empty)
+    csr: Any = None
 
 
 @dataclass
@@ -180,6 +184,11 @@ class InlineExecutor(ExecutionBackend):
     # -- ScaleG ---------------------------------------------------------
     def sweep_scaleg(self, active, superstep: int, draws=None) -> ScaleGSweep:
         engine = self._engine
+        kernel = getattr(engine, "_csr_kernel", None)
+        if kernel is not None:
+            # array-native representation: the whole sweep is a few
+            # vectorized passes (bit-identical to the loop below)
+            return kernel.sweep(engine, active, superstep)
         states = engine._states
         worker_of = engine.dgraph.worker_of
         ctx = self._ctx

@@ -239,13 +239,22 @@ def _worker_main(conn) -> None:
     states: Dict[int, Any] = {}
     host = None
     program = None
+    #: mapped shared-memory CSR frame (array-native sweeps), if any
+    csr_view = None
+
+    def _drop_view():
+        if csr_view is not None:
+            csr_view.close()
+
     while True:
         try:
             msg = _recv_msg(conn)
         except (EOFError, OSError):
+            _drop_view()
             return
         kind = msg[0]
         if kind == "close":
+            _drop_view()
             conn.close()
             return
         try:
@@ -254,6 +263,18 @@ def _worker_main(conn) -> None:
                 host = _WorkerHost(graph, states)
                 program = None
                 reply = ("ok", None)
+            elif kind == "csr_sweep":
+                _, superstep, meta, active_idx, cfg = msg
+                from repro.graph import csr as _csr
+
+                if meta is not None:
+                    csr_view = _csr.worker_attach(csr_view, meta)
+                if csr_view is None:
+                    raise ParallelRuntimeError(
+                        "csr sweep dispatched before any frame meta"
+                    )
+                payload = _csr.worker_sweep(csr_view, active_idx, cfg)
+                reply = ("ok", payload, None)
             elif kind == "sweep":
                 _, mode, superstep, prologue, groups, extra, draw_slice = msg
                 if prologue is not None:
@@ -283,6 +304,7 @@ def _worker_main(conn) -> None:
         try:
             _send_msg(conn, reply)
         except (BrokenPipeError, OSError):
+            _drop_view()
             return
 
 
@@ -331,11 +353,46 @@ class ParallelRuntime(ExecutionBackend):
         self._pending_removals: Set[int] = set()
         self._current_program = None
         self._shipped_program = None
+        #: what the pool was initialised with: None (nothing yet), "light"
+        #: (no replica — array-native sweeps only) or "full" (graph +
+        #: states replica for dict-path sweeps)
+        self._init_kind: Optional[str] = None
+        #: (segment name, epoch) of the CSR frame meta the workers hold
+        self._csr_shipped: Optional[Tuple[str, int]] = None
+        # pipe-traffic accounting (bytes actually pickled per direction);
+        # reset via reset_frame_stats(), read via frame_stats()
+        self.frames_sent = 0
+        self.frame_bytes_sent = 0
+        self.frame_bytes_received = 0
+        self.sweeps_dispatched = 0
 
     @property
     def start_method(self) -> str:
         """The multiprocessing start method workers are created with."""
         return self._mp.get_start_method()
+
+    # -- pipe-traffic accounting ----------------------------------------
+    def frame_stats(self) -> Dict[str, int]:
+        """Bytes pickled across the pipes since the last reset.
+
+        ``frame_bytes_sent``/``frame_bytes_received`` are the exact pickle
+        payload sizes (the ``Connection`` length header is excluded);
+        ``sweeps_dispatched`` counts barrier dispatches, so
+        ``frame_bytes_sent / sweeps_dispatched`` is the per-barrier
+        down-link cost a backend comparison wants.
+        """
+        return {
+            "frames_sent": self.frames_sent,
+            "frame_bytes_sent": self.frame_bytes_sent,
+            "frame_bytes_received": self.frame_bytes_received,
+            "sweeps_dispatched": self.sweeps_dispatched,
+        }
+
+    def reset_frame_stats(self) -> None:
+        self.frames_sent = 0
+        self.frame_bytes_sent = 0
+        self.frame_bytes_received = 0
+        self.sweeps_dispatched = 0
 
     # -- lifecycle ------------------------------------------------------
     def bind(self, engine) -> None:
@@ -409,6 +466,8 @@ class ParallelRuntime(ExecutionBackend):
         self._conns = []
         self._workers = []
         self._needs_init = True
+        self._init_kind = None
+        self._csr_shipped = None
         self._mirror.clear()
         self._pending_ops.clear()
         self._pending_upserts.clear()
@@ -448,7 +507,8 @@ class ParallelRuntime(ExecutionBackend):
         return predraw_barrier_faults(injector, superstep, num_workers)
 
     # -- pool management -------------------------------------------------
-    def _ensure_workers(self, num_partitions: Optional[int] = None) -> None:
+    def _ensure_workers(self, num_partitions: Optional[int] = None,
+                        full_init: bool = True) -> None:
         if not self._workers:
             if num_partitions is None:
                 if self._engine is None:
@@ -470,16 +530,36 @@ class ParallelRuntime(ExecutionBackend):
                 self._conns.append(parent)
                 self._workers.append(proc)
             self._needs_init = True
-        if self._needs_init and self._graph is not None:
-            snapshot = self._graph.copy()
-            self._broadcast(("init", snapshot, {}))
-            for p in range(len(self._conns)):
-                self._recv_ok(p)
-            # the snapshot already contains every buffered mutation; the
-            # states replica starts empty and fills from the mirror-diff
-            # upserts queued by begin_run
-            self._pending_ops.clear()
-            self._shipped_program = None
+            self._init_kind = None
+            self._csr_shipped = None
+        needs_upgrade = (
+            full_init and not self._needs_init and self._init_kind == "light"
+        )
+        if (self._needs_init or needs_upgrade) and self._graph is not None:
+            if full_init:
+                snapshot = self._graph.copy()
+                self._broadcast(("init", snapshot, {}))
+                for p in range(len(self._conns)):
+                    self._recv_ok(p)
+                # the snapshot already contains every buffered mutation; the
+                # states replica starts empty and fills from the mirror-diff
+                # upserts queued by begin_run — or, on an upgrade from a
+                # light (array-sweeps-only) pool, from the whole mirror,
+                # because light mode never shipped any states
+                self._pending_ops.clear()
+                self._pending_upserts = dict(self._mirror)
+                self._pending_removals.clear()
+                self._shipped_program = None
+                self._init_kind = "full"
+            else:
+                # array-native sweeps need no graph/state replica at all:
+                # workers map the shared CSR frame instead
+                self._broadcast(("init", None, {}))
+                for p in range(len(self._conns)):
+                    self._recv_ok(p)
+                self._shipped_program = None
+                self._init_kind = "light"
+            self._csr_shipped = None
             self._needs_init = False
 
     def _broadcast(self, msg) -> None:
@@ -488,12 +568,16 @@ class ParallelRuntime(ExecutionBackend):
 
     def _send(self, p: int, conn, msg) -> None:
         try:
-            _send_msg(conn, msg)
+            data = pickle.dumps(msg, protocol=pickle.HIGHEST_PROTOCOL)
         except (pickle.PicklingError, AttributeError, TypeError) as exc:
             raise ParallelRuntimeError(
                 "the process runtime requires picklable programs, states, "
                 f"payloads and activation predicates: {exc}"
             ) from exc
+        self.frames_sent += 1
+        self.frame_bytes_sent += len(data)
+        try:
+            conn.send_bytes(data)
         except (BrokenPipeError, OSError) as exc:
             raise ParallelRuntimeError(
                 f"worker process {p} is gone: {exc}"
@@ -502,11 +586,13 @@ class ParallelRuntime(ExecutionBackend):
     def _recv_ok(self, p: int):
         conn = self._conns[p]
         try:
-            reply = _recv_msg(conn)
+            data = conn.recv_bytes()
         except (EOFError, OSError) as exc:
             raise ParallelRuntimeError(
                 f"worker process {p} died mid-superstep"
             ) from exc
+        self.frame_bytes_received += len(data)
+        reply = pickle.loads(data)
         if reply[0] != "ok":
             raise ParallelRuntimeError(
                 f"worker process {p} failed:\n{reply[1]}"
@@ -587,7 +673,15 @@ class ParallelRuntime(ExecutionBackend):
     # -- sweeps ----------------------------------------------------------
     def sweep_scaleg(self, active, superstep: int, draws=None) -> ScaleGSweep:
         engine = self._engine
+        kernel = getattr(engine, "_csr_kernel", None)
+        if (
+            kernel is not None
+            and getattr(engine, "_csr_fast", False)
+            and draws is None
+        ):
+            return self._sweep_scaleg_csr(engine, kernel, active, superstep)
         self._ensure_workers()
+        self.sweeps_dispatched += 1
         num_workers = engine.dgraph.num_workers
         prologue = self._take_prologue()
         per_proc = self._group_active(active)
@@ -629,11 +723,88 @@ class ParallelRuntime(ExecutionBackend):
             fault_echo=self._merge_echo(echo_parts, draws, num_workers),
         )
 
+    def _sweep_scaleg_csr(self, engine, kernel, active,
+                          superstep: int) -> ScaleGSweep:
+        """Array-native sweep over the shared-memory CSR frame.
+
+        Down-link per barrier: the frame meta (segment name + layout, only
+        when the structure changed since the last ship) plus each process's
+        slice of active *row indices* and the kernel config.  Up-link:
+        per-worker work, compute work, and four typed delta arrays.  No
+        graph, state, program or activation objects are ever pickled.
+        """
+        import numpy as np
+
+        from repro.graph.csr import CSRSweepExtras, decode_worker_sweep
+
+        part = engine._csr
+        self._ensure_workers(full_init=False)
+        self.sweeps_dispatched += 1
+        if self._init_kind == "light":
+            # replica deltas are irrelevant to array sweeps; drop them so
+            # the buffers stay bounded (the mirror stays authoritative —
+            # an upgrade to a full pool reships it wholesale)
+            self._pending_ops.clear()
+            self._pending_upserts.clear()
+            self._pending_removals.clear()
+        a = part.index_of(active)
+        meta = part.publish_shared()
+        token = (meta[0], meta[1])
+        ship_meta = meta if token != self._csr_shipped else None
+        nprocs = len(self._conns)
+        num_workers = engine.dgraph.num_workers
+        proc_of = part.home[a] % nprocs
+        cfg = kernel.config(num_workers)
+        for p, conn in enumerate(self._conns):
+            self._send(
+                p, conn,
+                ("csr_sweep", superstep, ship_meta,
+                 a[proc_of == p].astype(np.int32), cfg),
+            )
+        self._csr_shipped = token
+        worker_work = [0] * num_workers
+        compute_work = 0
+        idx_parts, val_parts, src_parts, tgt_parts = [], [], [], []
+        for p in range(nprocs):
+            reply = self._recv_ok(p)
+            cw, ww, changed_idx, changed_val, req_src, req_tgt = (
+                decode_worker_sweep(reply[1])
+            )
+            compute_work += cw
+            for w in range(num_workers):
+                worker_work[w] += ww[w]
+            idx_parts.append(changed_idx)
+            val_parts.append(changed_val)
+            src_parts.append(req_src)
+            tgt_parts.append(req_tgt)
+        changed_idx = np.concatenate(idx_parts)
+        changed_val = np.concatenate(val_parts)
+        # deterministic reduce: rows are unique across processes, so the
+        # argsort restores exactly the inline (ascending) order
+        order = np.argsort(changed_idx)
+        changed_idx = changed_idx[order]
+        changed_val = changed_val[order]
+        extras = CSRSweepExtras(
+            changed_idx, changed_val,
+            np.concatenate(src_parts), np.concatenate(tgt_parts),
+        )
+        changed_ids = part.ids[changed_idx].tolist()
+        return ScaleGSweep(
+            new_states=dict(zip(changed_ids, changed_val.tolist())),
+            changed=changed_ids,
+            forced=[],
+            requests=[],
+            compute_work=compute_work,
+            worker_work=worker_work,
+            csr=extras,
+        )
+
     def sweep_pregel(
         self, states, active, superstep: int, inbox, draws=None
     ) -> PregelSweep:
         engine = self._engine
         self._ensure_workers()
+        self.sweeps_dispatched += 1
         num_workers = engine.dgraph.num_workers
         prologue = self._take_prologue()
         per_proc = self._group_active(active)

@@ -95,6 +95,24 @@ class ScaleGProgram(ABC):
         """
         return graph.rank_cache()
 
+    def csr_kernel(self):
+        """Array-native sweep kernel for ``representation="csr"``, or
+        ``None`` (the default) when this program only runs the dict path.
+
+        A kernel (e.g. :class:`~repro.graph.csr.OIMISKernel`) replays the
+        whole compute sweep as vectorized array passes and must be
+        bit-identical to ``compute`` on every meter; programs without one
+        silently keep the dict path even under ``representation="csr"``.
+        """
+        return None
+
+    def uniform_state_bytes(self) -> Optional[int]:
+        """Constant resident size per state, or ``None`` if state sizes
+        vary.  A constant lets the engine take the O(num_workers)
+        closed-form memory snapshot instead of the O(n) per-vertex walk;
+        both produce identical integers."""
+        return None
+
 
 class ScaleGContext:
     """Per-vertex view handed to :meth:`ScaleGProgram.compute`."""
@@ -239,7 +257,8 @@ class ScaleGEngine:
     """
 
     def __init__(self, dgraph: "DistributedGraph", contracts=None, faults=None,
-                 membership=None, runtime=None, sanitize=None):
+                 membership=None, runtime=None, sanitize=None,
+                 representation=None):
         """``contracts``: ``None`` defers to the ``REPRO_CONTRACTS`` env
         flag, ``True``/``False`` force runtime contract checking on/off, or
         pass a :class:`~repro.analysis.runtime.ContractChecker` directly.
@@ -261,16 +280,28 @@ class ScaleGEngine:
         ``True``/``False`` force the superstep race sanitizer on/off, or
         pass a :class:`~repro.analysis.parallel.RaceSanitizer` directly;
         when on, the backend is wrapped to record per-worker read/write
-        sets each superstep and flag races."""
+        sets each superstep and flag races.
+        ``representation``: ``"dict"`` (the reference hot path) or
+        ``"csr"`` (flat-array partition mirror, vectorized sweeps for
+        programs that provide a :meth:`ScaleGProgram.csr_kernel`);
+        ``None`` defers to the ``REPRO_REPRESENTATION`` env flag."""
         from repro.analysis.parallel.sanitizer import resolve_sanitizer
         from repro.analysis.runtime import resolve_contracts
         from repro.faults.injector import resolve_faults
         from repro.faults.membership import resolve_membership
+        from repro.graph.csr import resolve_representation
         from repro.runtime import resolve_runtime
 
         self.dgraph = dgraph
         self._states: Dict[int, Any] = {}
         self._ranked: Optional[RankedAdjacency] = None
+        self._representation = resolve_representation(representation)
+        #: CSR mirror + kernel for the current run (None on the dict path)
+        self._csr = None
+        self._csr_kernel = None
+        #: True when the run can use typed-delta barriers (no faults, no
+        #: sanitizer, no isolation snapshots)
+        self._csr_fast = False
         self._contracts = resolve_contracts(contracts)
         self._faults = resolve_faults(faults)
         self._membership = membership
@@ -297,9 +328,18 @@ class ScaleGEngine:
         """The attached race sanitizer (``None`` when sanitizing is off)."""
         return self._sanitizer
 
+    @property
+    def representation(self) -> str:
+        """Partition representation driving the sweeps (``dict``/``csr``)."""
+        return self._representation
+
     def close(self) -> None:
-        """Release the execution backend's resources (worker processes)."""
+        """Release the execution backend's resources (worker processes,
+        published shared-memory frames)."""
         self._runtime.close()
+        part = getattr(self.dgraph, "_csr_partition", None)
+        if part is not None:
+            part.release_shared()
 
     def run(
         self,
@@ -343,9 +383,8 @@ class ScaleGEngine:
         if initial_active is None:
             active: List[int] = graph.sorted_vertices()
         else:
-            active = sorted({u for u in initial_active if graph.has_vertex(u)})
+            active = sorted(set(initial_active) & graph.vertex_keys())
 
-        self._ranked = program.rank_cache(graph)
         dgraph = self.dgraph
         is_remote_pair = dgraph.is_remote_pair
         contracts = self._contracts
@@ -370,6 +409,33 @@ class ScaleGEngine:
         # the O(active·deg) read-set sweep is only needed when the checker
         # actually snapshots (isolation on); otherwise skip it entirely
         check_isolation = contracts is not None and contracts.check_isolation
+        self._csr = None
+        self._csr_kernel = None
+        self._csr_fast = False
+        kernel = (
+            program.csr_kernel() if self._representation == "csr" else None
+        )
+        if kernel is not None:
+            from repro.graph.csr import CSRPartition
+
+            part = CSRPartition.attach(dgraph)
+            part.ensure()
+            part.sync_states(states)
+            self._csr = part
+            self._csr_kernel = kernel
+            # typed-delta barriers only when nothing needs the standard
+            # request lists; otherwise the kernel materializes them and
+            # the dict-path barrier below runs unchanged
+            self._csr_fast = (
+                injector is None
+                and self._sanitizer is None
+                and not check_isolation
+            )
+            # ranked cache not needed for kernel sweeps; the context
+            # lazily builds the default one if recovery paths ask
+            self._ranked = None
+        else:
+            self._ranked = program.rank_cache(graph)
         runtime = self._runtime
         runtime.bind(self)
         runtime.begin_run(program, states)
@@ -510,6 +576,8 @@ class ScaleGEngine:
                         checkpoint, states, own_metrics, program.sync_bytes,
                     )
                     active = checkpoint.restore(states)
+                    if self._csr is not None:
+                        self._csr.sync_states(states)
                     if targets:
                         self._recovery_sweep(
                             program, targets, superstep, own_metrics
@@ -534,6 +602,8 @@ class ScaleGEngine:
                     own_metrics.recovery_resync_bytes += rebuild_bytes
                     own_metrics.recovery_resync_messages += rebuild_records
                     active = checkpoint.restore(states)
+                    if self._csr is not None:
+                        self._csr.sync_states(states)
                     continue
 
                 if contracts is not None:
@@ -543,6 +613,23 @@ class ScaleGEngine:
                         dirty[u] = states[u]
                 states.update(new_states)
                 runtime.commit(new_states)
+                if self._csr is not None:
+                    self._csr.apply_new_states(new_states)
+
+                if sweep.csr is not None:
+                    # array fast path: sync + activation charging from the
+                    # typed delta arrays (post-commit, like the loops below)
+                    from repro.graph.csr import finish_barrier
+
+                    next_active = finish_barrier(
+                        self._csr, self._csr_kernel, sweep.csr, changed,
+                        record, dgraph,
+                    )
+                    own_metrics.observe(record, keep_record=keep_records)
+                    active = sorted(next_active)
+                    superstep += 1
+                    ran_supersteps += 1
+                    continue
 
                 # --- charge state sync: once per (synced vertex, guest machine)
                 changed_set = set(changed)
@@ -722,5 +809,11 @@ class ScaleGEngine:
     def _memory_snapshot(
         self, program: ScaleGProgram, states: Dict[int, Any]
     ) -> Dict[int, int]:
+        uniform = program.uniform_state_bytes()
+        if uniform is not None and len(states) == self.dgraph.graph.num_vertices:
+            # constant state size: closed-form per-worker totals (same
+            # integers as the per-vertex walk, O(num_workers) instead of
+            # O(n + guests))
+            return self.dgraph.structural_memory_bytes_uniform(uniform)
         state_bytes = {u: program.state_bytes(s) for u, s in sorted(states.items())}
         return self.dgraph.structural_memory_bytes(state_bytes)

@@ -141,8 +141,21 @@ class StreamingSession:
             and self._buffer
             and timestamp >= self._window_start_ts + self.window_interval
         ):
-            report = self.flush()
+            try:
+                report = self.flush()
+            except BaseException:
+                # the failed window keeps its events, but the *offered*
+                # event must not be lost with them — queue it behind the
+                # stuck window before the failure propagates, so a later
+                # retry applies both
+                self._buffer.append(op)
+                raise
         if not self._buffer:
+            self._window_start_ts = timestamp
+        elif self._window_start_ts is None and timestamp is not None:
+            # a window opened by untimed events anchors its time trigger
+            # on the first timed event it sees — otherwise the whole
+            # window would be pinned untimed and never time-flush
             self._window_start_ts = timestamp
         self._buffer.append(op)
         if len(self._buffer) >= self.window_size:
@@ -185,10 +198,16 @@ class StreamingSession:
         except BaseException:
             # the maintainer rolled back (apply_batch is atomic); keep the
             # buffer so the caller may drop/repair/retry the window
+            # meters are not rolled back with the graph state: the failed
+            # attempt's supersteps, bytes, wall time and failovers all
+            # really happened — record every delta, not just wall/failovers
             report = WindowReport(
                 index=len(self.history),
                 operations=len(ops),
                 set_size=len(self._membership),
+                supersteps=metrics.supersteps - before[0],
+                communication_mb=(metrics.bytes_sent - before[1])
+                / (1024.0 * 1024.0),
                 wall_time_s=metrics.wall_time_s - before[2],
                 failovers=getattr(metrics, "recovery_failovers", 0)
                 - failovers_before,
@@ -251,8 +270,12 @@ class StreamingSession:
 
     # ------------------------------------------------------------------
     def totals(self) -> dict:
-        """Aggregate statistics across flushed windows (failed attempts
-        contribute only to ``failed_windows`` — their events never applied)."""
+        """Aggregate statistics across flushed windows.
+
+        Failed attempts contribute to ``failed_windows``, ``failovers``
+        and ``failed_wall_time_s`` — their events never applied, but the
+        time burned attempting them (and any worker declared dead) is
+        real and must not vanish from the stream's account."""
         applied = [r for r in self.history if not r.failed]
         return {
             "windows": len(applied),
@@ -262,6 +285,9 @@ class StreamingSession:
             "supersteps": sum(r.supersteps for r in applied),
             "communication_mb": sum(r.communication_mb for r in applied),
             "wall_time_s": sum(r.wall_time_s for r in applied),
+            "failed_wall_time_s": sum(
+                r.wall_time_s for r in self.history if r.failed
+            ),
             # failed windows roll back state but a worker declared dead
             # stays dead — count failovers across every attempt
             "failovers": sum(r.failovers for r in self.history),

@@ -52,6 +52,26 @@ class TestWindowing:
         assert report is not None and report.operations == 2
         assert session.pending == 1
 
+    def test_untimed_head_does_not_disable_time_trigger(self):
+        # regression: a window whose first event is untimed used to pin
+        # _window_start_ts at None, so the time trigger never fired for
+        # the whole window — the anchor is the first *timed* event
+        session = _session(window_size=100, window_interval=10.0)
+        session.offer(EdgeInsertion(0, 2))  # untimed head
+        session.offer(EdgeInsertion(0, 3), timestamp=0.0)  # anchors here
+        assert session.offer(EdgeInsertion(0, 4), timestamp=9.0) is None
+        report = session.offer(EdgeInsertion(0, 5), timestamp=12.0)
+        assert report is not None and report.operations == 3
+        assert report.started_at == 0.0
+        assert session.pending == 1
+
+    def test_untimed_window_never_time_flushes(self):
+        # all-untimed windows still only flush by count
+        session = _session(window_size=100, window_interval=1.0)
+        session.offer(EdgeInsertion(0, 2))
+        session.offer(EdgeInsertion(0, 3))
+        assert session.pending == 2
+
     def test_timestamps_must_be_monotone(self):
         session = _session(window_interval=5.0)
         session.offer(EdgeInsertion(0, 2), timestamp=3.0)
@@ -172,7 +192,7 @@ class TestCallbacksAndLifecycle:
 
 
 class TestAtomicFlush:
-    def _faulted_session(self, window_size=2):
+    def _faulted_session(self, window_size=2, **kw):
         # drop every sync record with a zero retry budget: the first window
         # that needs a guest sync raises SyncRetryExhausted mid-flush
         from repro.core.doimis import DOIMISMaintainer
@@ -186,7 +206,7 @@ class TestAtomicFlush:
         maintainer = DOIMISMaintainer(
             g.copy(), num_workers=2, resume_states=states, faults=injector,
         )
-        return StreamingSession(maintainer, window_size=window_size)
+        return StreamingSession(maintainer, window_size=window_size, **kw)
 
     def test_failed_flush_retains_buffer(self):
         from repro.errors import SyncRetryExhausted
@@ -232,3 +252,45 @@ class TestAtomicFlush:
         report = session.offer(EdgeDeletion(2, 3))
         assert report is not None and not report.failed
         assert session.totals()["failed_windows"] == 0
+        assert session.totals()["failed_wall_time_s"] == 0.0
+
+    def test_time_triggered_flush_failure_keeps_offered_event(self):
+        # regression: when the time trigger's flush raised, the event
+        # being offered was dropped on the floor (only appended after a
+        # successful flush) — it must queue behind the stuck window
+        from repro.errors import SyncRetryExhausted
+
+        session = self._faulted_session(window_size=100,
+                                        window_interval=5.0)
+        session.offer(EdgeDeletion(0, 1), timestamp=0.0)
+        session.offer(EdgeDeletion(2, 3), timestamp=1.0)
+        with pytest.raises(SyncRetryExhausted):
+            session.offer(EdgeInsertion(1, 3), timestamp=10.0)
+        assert session.pending == 3  # the timed-out offer survived
+        # the next count/manual flush retries all three in order
+        with pytest.raises(SyncRetryExhausted):
+            session.flush()
+        assert session.pending == 3
+
+    def test_failed_window_records_all_deltas(self):
+        # regression: failed reports used to zero supersteps and
+        # communication_mb, and totals() dropped the failed wall time
+        # while still counting failed failovers
+        from repro.errors import SyncRetryExhausted
+
+        session = self._faulted_session(window_size=2)
+        session.offer(EdgeDeletion(0, 1))
+        with pytest.raises(SyncRetryExhausted):
+            session.offer(EdgeDeletion(2, 3))
+        report = session.history[0]
+        assert report.failed
+        metrics = session.maintainer.update_metrics
+        # first flush attempt: the before-snapshot was all zeros, so the
+        # report's deltas must equal the meters' absolute values
+        assert report.supersteps == metrics.supersteps
+        assert report.communication_mb == metrics.bytes_sent / (1024.0 * 1024.0)
+        assert report.wall_time_s == metrics.wall_time_s
+        totals = session.totals()
+        assert totals["wall_time_s"] == 0.0  # nothing applied
+        assert totals["failed_wall_time_s"] == report.wall_time_s
+        assert totals["supersteps"] == 0
