@@ -30,6 +30,17 @@ from repro.core.doimis import DOIMISMaintainer
 from repro.core.maintainer import MISMaintainer
 from repro.core.oimis import OIMISRun, run_oimis, run_oimis_pregel
 from repro.core.weighted import WeightedMISMaintainer, weighted_greedy_mis
+from repro.serve import (
+    AdaptiveWindowController,
+    AdmissionConfig,
+    FixedWindowController,
+    IngestionService,
+    RetryPolicy,
+    TraceConfig,
+    WindowConfig,
+    WriteAheadLog,
+    bursty_trace,
+)
 from repro.stream import StreamingSession, WindowReport
 from repro.core.verification import (
     assert_valid_mis,
@@ -51,6 +62,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ActivationStrategy",
+    "AdaptiveWindowController",
+    "AdmissionConfig",
     "DDisMISRecompute",
     "DISTRIBUTED_ALGORITHM_NAMES",
     "DOIMISMaintainer",
@@ -58,13 +71,20 @@ __all__ = [
     "DynamicGraph",
     "EdgeDeletion",
     "EdgeInsertion",
+    "FixedWindowController",
+    "IngestionService",
     "MISMaintainer",
     "NaiveRecompute",
     "OIMISRun",
     "ReproError",
+    "RetryPolicy",
     "StreamingSession",
+    "TraceConfig",
     "WeightedMISMaintainer",
+    "WindowConfig",
     "WindowReport",
+    "WriteAheadLog",
+    "bursty_trace",
     "weighted_greedy_mis",
     "Status",
     "UpdateBatch",

@@ -26,7 +26,11 @@ it is).  ``csr_*`` scenarios run the same workloads on the flat-array CSR
 layout (:mod:`repro.graph.csr`), assert bit-identity against an in-scenario
 dict run, and record the speedup; ``csr_frames_*`` additionally compare the
 process runtime's barrier-frame byte traffic between pickled dict frames
-and shared-memory CSR deltas.
+and shared-memory CSR deltas.  ``serve_*`` scenarios push a seeded bursty
+trace through the durable ingestion service (:mod:`repro.serve`) and record
+sustained updates/s and per-window latency percentiles; their logical
+sections are pinned too, because every serve control decision is a function
+of logical meters and event time only.
 """
 
 from __future__ import annotations
@@ -298,6 +302,111 @@ def _csr_frames_static_oimis(tag: str, procs: int = 2) -> Dict[str, Any]:
     return entry
 
 
+def _serve_bursty(
+    tag: str,
+    num_ops: int,
+    seed: int,
+    poison_prob: float = 0.0,
+    admission_policy: str = "block",
+    high_watermark: int = 512,
+    low_watermark: int = 128,
+    max_window: int = 64,
+    backoff_s: float = 0.2,
+) -> Dict[str, Any]:
+    """Sustained ingestion through the durable service (ROADMAP item 2).
+
+    Replays a seeded bursty trace through a full
+    :class:`~repro.serve.service.IngestionService` — WAL, admission
+    control, adaptive windowing, retry/quarantine — and records sustained
+    updates/s plus per-window latency percentiles.  The logical section is
+    pinned like any other scenario: every control decision (window
+    boundaries, sheds, retries, quarantines) reads logical meters and
+    event time only, so the applied stream is deterministic per seed even
+    with poison operations in the trace.  Exactly-once accounting is
+    asserted in-scenario via the WAL audit.
+    """
+    import shutil
+    import tempfile
+    from time import perf_counter
+
+    from repro.core.maintainer import MISMaintainer
+    from repro.serve import (
+        AdaptiveWindowController,
+        AdmissionConfig,
+        IngestionService,
+        RetryPolicy,
+        TraceConfig,
+        WindowConfig,
+        audit_log,
+        bursty_trace,
+    )
+
+    ops, timestamps = bursty_trace(
+        load_dataset(tag),
+        TraceConfig(num_ops=num_ops, seed=seed, poison_prob=poison_prob),
+    )
+    maintainer = MISMaintainer(
+        load_dataset(tag), num_workers=10,
+        strategy=ActivationStrategy.SAME_STATUS,
+    )
+    wal_dir = tempfile.mkdtemp(prefix="serve-bench-")
+    try:
+        service = IngestionService(
+            maintainer, wal_dir,
+            controller=AdaptiveWindowController(WindowConfig(
+                min_window=4, max_window=max_window, initial_window=8,
+            )),
+            admission=AdmissionConfig(
+                policy=admission_policy, high_watermark=high_watermark,
+                low_watermark=low_watermark,
+            ),
+            retry=RetryPolicy(max_retries=1, backoff_base_s=backoff_s),
+            checkpoint_every=0,  # checkpoint cost stays out of the timing
+        )
+        start = perf_counter()
+        for op, ts in zip(ops, timestamps):
+            service.submit(op, ts)
+        service.drain()
+        ingest_wall = perf_counter() - start
+        service.close()
+        problems, audit = audit_log(wal_dir)
+        if problems:
+            raise RuntimeError(
+                f"serve_bursty_{tag}: WAL audit failed: {problems[:3]}"
+            )
+    finally:
+        shutil.rmtree(wal_dir, ignore_errors=True)
+    entry = _sections(
+        maintainer.independent_set(), maintainer.update_metrics,
+        maintainer.graph,
+    )
+    session = service.session.totals()
+    entry["params"] = {"kind": "serve_bursty", "dataset": tag,
+                       "num_ops": num_ops, "seed": seed,
+                       "poison_prob": poison_prob,
+                       "admission": admission_policy, "workers": 10}
+    entry["perf"]["serve"] = {
+        # throughput/latency are trend data; the counters are deterministic
+        "updates_per_s": round(audit["applied"] / ingest_wall, 1)
+        if ingest_wall else 0.0,
+        "ingest_wall_s": round(ingest_wall, 3),
+        "window_wall_p50_s": round(session["wall_time_p50_s"], 5),
+        "window_wall_p95_s": round(session["wall_time_p95_s"], 5),
+        "window_wall_p99_s": round(session["wall_time_p99_s"], 5),
+        "applied": audit["applied"],
+        "accepted": service.admission.stats.accepted,
+        "shed": service.admission.stats.shed,
+        "blocked": service.admission.stats.blocked,
+        "quarantined": audit["quarantined"],
+        "windows": audit["commits"],
+        "window_failures": service.stats.window_failures,
+        "bisections": service.stats.bisections,
+        "max_pending": session["max_pending"],
+        "controller": service.controller.as_dict(),
+    }
+    return entry
+
+
 SCENARIOS: Dict[str, Callable[[], Dict[str, Any]]] = {
     "static_oimis_SKI": lambda: _static_oimis("SKI"),
     "static_oimis_TW": lambda: _static_oimis("TW"),
@@ -314,6 +423,10 @@ SCENARIOS: Dict[str, Callable[[], Dict[str, Any]]] = {
     "csr_fig11_batch_TW": lambda: _csr_vs_dict(
         lambda rep: _fig11_batch("TW", 150, 11, 25, representation=rep)),
     "csr_frames_static_oimis_SKI": lambda: _csr_frames_static_oimis("SKI"),
+    "serve_bursty_AM": lambda: _serve_bursty("AM", 400, 7),
+    "serve_poison_SL": lambda: _serve_bursty(
+        "SL", 300, 11, poison_prob=0.05, admission_policy="shed",
+        high_watermark=24, low_watermark=8, max_window=16, backoff_s=0.5),
 }
 
 

@@ -17,6 +17,11 @@ Subcommands
                dropped/duplicated/reordered sync records, stragglers) over
                Fig. 10/11 workloads and assert the convergence oracle:
                bit-identical final set and logical meters.
+``serve``      run the durable ingestion service (:mod:`repro.serve`) on a
+               seeded bursty trace: WAL + admission control + adaptive
+               windowing + retry/quarantine, with ``--check`` auditing
+               exactly-once accounting and ``--chaos`` running the
+               kill-and-recover bit-identity oracle.
 ``bench-perf`` run the seeded perf microbenchmarks, writing (or, with
                ``--check``, diffing against) the committed
                ``BENCH_core.json`` baseline.
@@ -397,6 +402,159 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import shutil
+    import tempfile
+    from time import perf_counter
+
+    from repro.errors import BackpressureError
+    from repro.graph.datasets import load_dataset
+    from repro.serve import (
+        AdaptiveWindowController,
+        AdmissionConfig,
+        FixedWindowController,
+        IngestionService,
+        RetryPolicy,
+        TraceConfig,
+        WindowConfig,
+        audit_log,
+        bursty_trace,
+    )
+
+    representation = getattr(args, "representation", None)
+
+    if args.chaos:
+        from repro.faults.chaos import serve_crash_replay
+
+        runtime_factory = None
+        if args.runtime == "process":
+            from repro.runtime import ParallelRuntime
+
+            runtime_factory = lambda: ParallelRuntime(procs=args.procs)
+        result = serve_crash_replay(
+            tag=args.dataset, num_ops=args.ops, seed=args.seed,
+            poison_prob=args.poison_prob,
+            runtime_factory=runtime_factory,
+            representation=representation,
+        )
+        if args.format == "json":
+            print(json.dumps(result.as_dict(), indent=2))
+        else:
+            print(f"serve crash/replay: dataset={result.tag} "
+                  f"ops={result.num_ops} seed={result.seed}")
+            print(f"  crashed after     {result.crashed_after} event(s)")
+            print(f"  replayed          {result.replayed_windows} window(s) "
+                  f"/ {result.replayed_events} event(s)")
+            print(f"  quarantined       {result.quarantined}")
+            for failure in result.failures:
+                print(f"  FAIL {failure}")
+        stream = sys.stderr if args.format == "json" else sys.stdout
+        if result.ok:
+            print("ok: recovered run is bit-identical to the uninterrupted "
+                  "run (members + cumulative logical meters)", file=stream)
+            return 0
+        print(f"{len(result.failures)} crash/replay oracle violation(s)",
+              file=sys.stderr)
+        return 1
+
+    if args.fixed_window is not None:
+        controller = FixedWindowController(args.fixed_window)
+    else:
+        controller = AdaptiveWindowController(WindowConfig(
+            min_window=args.window_min, max_window=args.window_max,
+            initial_window=args.window_init,
+        ))
+    trace_graph = load_dataset(args.dataset)
+    operations, timestamps = bursty_trace(trace_graph, TraceConfig(
+        num_ops=args.ops, seed=args.seed, poison_prob=args.poison_prob,
+    ))
+    runtime = _resolve_cli_runtime(args)
+    maintainer = MISMaintainer(
+        load_dataset(args.dataset), num_workers=args.workers,
+        runtime=runtime, representation=representation,
+    )
+    wal_dir = args.wal_dir or tempfile.mkdtemp(prefix="repro-serve-")
+    try:
+        service = IngestionService(
+            maintainer, wal_dir, controller=controller,
+            admission=AdmissionConfig(
+                policy=args.admission, high_watermark=args.high_watermark,
+                low_watermark=args.low_watermark,
+            ),
+            retry=RetryPolicy(
+                max_retries=args.retries, backoff_base_s=args.backoff,
+            ),
+            fsync=args.fsync, checkpoint_every=args.checkpoint_every,
+        )
+        start = perf_counter()
+        for i, op in enumerate(operations):
+            try:
+                service.submit(op, timestamps[i])
+            except BackpressureError:
+                # the error policy pushes overload onto the producer; the
+                # trace runner's answer is to drop and move on (the
+                # rejection is already on the admission account)
+                continue
+        service.drain()
+        ingest_wall = perf_counter() - start
+        service.close()
+        problems, audit = audit_log(wal_dir)
+        summary = service.stats_summary()
+        session = summary["session"]
+        if args.format == "json":
+            document = dict(summary)
+            document["audit"] = {"problems": problems, **audit}
+            document["ingest_wall_s"] = round(ingest_wall, 3)
+            print(json.dumps(document, indent=2, sort_keys=True))
+        else:
+            throughput = (audit["applied"] / ingest_wall
+                          if ingest_wall else 0.0)
+            print(f"serve: dataset={args.dataset} ops={args.ops} "
+                  f"seed={args.seed} poison={args.poison_prob} "
+                  f"admission={args.admission}")
+            print(f"  accepted          {summary['accepted']}")
+            print(f"  shed              {summary['shed']}")
+            print(f"  rejected          {summary['rejected']}")
+            print(f"  blocked           {summary['blocked']}")
+            print(f"  applied           {audit['applied']} "
+                  f"in {audit['commits']} window(s)")
+            print(f"  quarantined       {summary['quarantined']} "
+                  f"(window failures {summary['window_failures']}, "
+                  f"bisections {summary['bisections']})")
+            print(f"  throughput        {throughput:.1f} updates/s")
+            print(f"  window wall p50   {session['wall_time_p50_s']:.5f} s")
+            print(f"  window wall p95   {session['wall_time_p95_s']:.5f} s")
+            print(f"  window wall p99   {session['wall_time_p99_s']:.5f} s")
+            print(f"  max pending       {session['max_pending']}")
+            ctl = summary["controller"]
+            print(f"  controller        window={ctl['window_size']} "
+                  f"grows={ctl['grows']} shrinks={ctl['shrinks']}")
+            print(f"  |MIS|             {len(maintainer.independent_set())}")
+            print(f"  wal               {wal_dir}"
+                  f"{'' if args.wal_dir else ' (temporary)'}")
+        if args.check:
+            expected = audit["applied"] + audit["quarantined"]
+            if summary["accepted"] != expected or audit["pending"]:
+                problems.append(
+                    f"accounting: accepted={summary['accepted']} != "
+                    f"applied={audit['applied']} + "
+                    f"quarantined={audit['quarantined']} "
+                    f"(pending {audit['pending']})"
+                )
+            if problems:
+                for problem in problems:
+                    print(f"AUDIT {problem}", file=sys.stderr)
+                print(f"{len(problems)} audit problem(s)", file=sys.stderr)
+                return 1
+            stream = sys.stderr if args.format == "json" else sys.stdout
+            print("ok: exactly-once audit clean (every accepted event "
+                  "applied or quarantined, none twice)", file=stream)
+        return 0
+    finally:
+        if args.wal_dir is None:
+            shutil.rmtree(wal_dir, ignore_errors=True)
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench import harness
     from repro.bench.reporting import format_table
@@ -553,6 +711,91 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos.add_argument("--format", choices=("table", "json"), default="table")
     chaos.set_defaults(fn=_cmd_chaos)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the durable ingestion service on a seeded bursty trace "
+        "(WAL + recovery, admission control, retry/quarantine, adaptive "
+        "windowing)",
+    )
+    serve.add_argument(
+        "--dataset", default="AM", metavar="TAG",
+        help="stand-in dataset tag the trace runs over (default: AM)",
+    )
+    serve.add_argument("--ops", type=int, default=500,
+                       help="trace length (default: 500)")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="trace seed (default: 0)")
+    serve.add_argument(
+        "--poison-prob", type=float, default=0.0,
+        help="probability an event is a poison operation destined for the "
+        "dead-letter log (default: 0)",
+    )
+    serve.add_argument("--workers", type=int, default=10)
+    serve.add_argument(
+        "--window-min", type=int, default=4,
+        help="adaptive window lower bound (default: 4)")
+    serve.add_argument(
+        "--window-max", type=int, default=256,
+        help="adaptive window upper bound (default: 256)")
+    serve.add_argument(
+        "--window-init", type=int, default=16,
+        help="adaptive window starting size (default: 16)")
+    serve.add_argument(
+        "--fixed-window", type=int, default=None, metavar="N",
+        help="disable adaptation and use a constant window of N ops",
+    )
+    serve.add_argument(
+        "--admission", choices=("block", "shed", "error"), default="block",
+        help="what happens above the high watermark: block the producer "
+        "while draining, shed the event, or raise (default: block)",
+    )
+    serve.add_argument("--high-watermark", type=int, default=512)
+    serve.add_argument("--low-watermark", type=int, default=128)
+    serve.add_argument(
+        "--retries", type=int, default=2,
+        help="failed-window retries before bisection (default: 2)")
+    serve.add_argument(
+        "--backoff", type=float, default=0.5,
+        help="base retry backoff in event-time seconds (default: 0.5)")
+    serve.add_argument(
+        "--checkpoint-every", type=int, default=8, metavar="N",
+        help="maintainer checkpoint every N committed windows "
+        "(0: only the initial and closing checkpoints; default: 8)",
+    )
+    serve.add_argument(
+        "--fsync", choices=("always", "commit", "never"), default="commit",
+        help="WAL durability: always (every record), commit (control "
+        "records only, default), never (OS-buffered)",
+    )
+    serve.add_argument(
+        "--wal-dir", default=None, metavar="DIR",
+        help="log directory to create (kept afterwards; default: a "
+        "temporary directory, removed on exit)",
+    )
+    serve.add_argument(
+        "--runtime", choices=("inline", "process"), default="inline",
+        help="execution backend (bit-identical results either way)",
+    )
+    serve.add_argument("--procs", type=int, default=None, metavar="N")
+    serve.add_argument(
+        "--representation", choices=("dict", "csr"), default=None,
+        help="partition-local layout (default dict, or "
+        "REPRO_REPRESENTATION)",
+    )
+    serve.add_argument(
+        "--check", action="store_true",
+        help="audit the WAL after the run: exit non-zero unless every "
+        "accepted event applied or quarantined exactly once",
+    )
+    serve.add_argument(
+        "--chaos", action="store_true",
+        help="run the crash/replay oracle instead: kill the service "
+        "mid-window, recover from the WAL, assert bit-identity with an "
+        "uninterrupted run",
+    )
+    serve.add_argument("--format", choices=("table", "json"), default="table")
+    serve.set_defaults(fn=_cmd_serve)
 
     bench_perf = sub.add_parser(
         "bench-perf",

@@ -217,6 +217,51 @@ class RaceViolation(EngineError):
         self.worker = worker
 
 
+class WALError(ReproError):
+    """Raised when the ingestion write-ahead log cannot be read or written.
+
+    Carries the offending path and a human-readable reason.  A torn tail
+    (the record being appended when the process died) is *not* an error —
+    recovery truncates it silently; this exception covers real corruption:
+    a checksum mismatch in the middle of a sealed segment, a segment with a
+    foreign magic header, an unwritable directory.
+    """
+
+    def __init__(self, path, reason: str):
+        super().__init__(f"write-ahead log {path}: {reason}")
+        self.path = path
+        self.reason = reason
+
+
+class RecoveryError(ReproError):
+    """Raised when WAL replay cannot reproduce the pre-crash state.
+
+    Replay is deterministic: re-applying a committed window's events to the
+    restored checkpoint must yield exactly the cumulative logical meters
+    the commit record stored.  A divergence means the log and the
+    checkpoint disagree (foreign checkpoint file, hand-edited log, changed
+    engine semantics) — recovery refuses to continue on a state it cannot
+    vouch for.
+    """
+
+
+class BackpressureError(ReproError):
+    """Raised by the ``error`` admission policy when the ingress queue is
+    above its high watermark — the producer must back off and retry.
+
+    ``pending`` is the queue depth that triggered the rejection,
+    ``high_watermark`` the configured limit.
+    """
+
+    def __init__(self, pending: int, high_watermark: int):
+        super().__init__(
+            f"ingress queue at {pending} pending operation(s), "
+            f"high watermark {high_watermark}: submission rejected"
+        )
+        self.pending = pending
+        self.high_watermark = high_watermark
+
+
 class WorkloadError(ReproError):
     """Raised when an update workload cannot be generated as requested."""
 

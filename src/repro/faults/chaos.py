@@ -321,6 +321,181 @@ def run_chaos_case(
     return result
 
 
+@dataclass
+class ServeChaosResult:
+    """Outcome of one serve crash/replay chaos case.
+
+    The oracle: a service killed mid-window (``abandon`` — no drain, no
+    final commit, no closing checkpoint) and recovered from its WAL must
+    finish the trace with the *same members and the same cumulative
+    logical meters* as a service that never crashed.  ``audit`` must also
+    certify exactly-once accounting on both log directories.
+    """
+
+    tag: str
+    seed: int
+    num_ops: int
+    crashed_after: int = 0
+    replayed_windows: int = 0
+    replayed_events: int = 0
+    quarantined: int = 0
+    failures: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "tag": self.tag,
+            "seed": self.seed,
+            "num_ops": self.num_ops,
+            "ok": self.ok,
+            "crashed_after": self.crashed_after,
+            "replayed_windows": self.replayed_windows,
+            "replayed_events": self.replayed_events,
+            "quarantined": self.quarantined,
+            "failures": list(self.failures),
+        }
+
+
+def serve_crash_replay(
+    tag: str = "AM",
+    num_ops: int = 240,
+    seed: int = 7,
+    poison_prob: float = 0.0,
+    crash_commits: int = 4,
+    runtime_factory=None,
+    representation=None,
+    faults_factory=None,
+    wal_root: Optional[str] = None,
+) -> ServeChaosResult:
+    """Kill an ingestion service mid-window, recover it, assert bit-identity.
+
+    Runs the same seeded bursty trace twice: once uninterrupted, once
+    crashed (``abandon``) after ``crash_commits`` committed windows with
+    events still pending, then recovered via WAL replay and finished.
+    ``runtime_factory`` builds a fresh execution runtime per maintainer
+    (the crashed one's pool dies with it); ``faults_factory`` builds a
+    fresh :class:`~repro.faults.injector.FaultInjector` per run so
+    injected transient faults compose with the retry path.
+    """
+    import shutil
+    import tempfile
+
+    from repro.core.maintainer import MISMaintainer
+    from repro.graph.datasets import load_dataset
+    from repro.serve import (
+        AdaptiveWindowController,
+        IngestionService,
+        RetryPolicy,
+        TraceConfig,
+        WindowConfig,
+        audit_log,
+        bursty_trace,
+    )
+
+    result = ServeChaosResult(tag=tag, seed=seed, num_ops=num_ops)
+    ops, timestamps = bursty_trace(
+        load_dataset(tag),
+        TraceConfig(num_ops=num_ops, seed=seed, poison_prob=poison_prob),
+    )
+
+    def make_controller():
+        return AdaptiveWindowController(
+            WindowConfig(min_window=4, max_window=64, initial_window=8)
+        )
+
+    def make_maintainer():
+        return MISMaintainer(
+            load_dataset(tag),
+            num_workers=10,
+            strategy=ActivationStrategy.SAME_STATUS,
+            runtime=runtime_factory() if runtime_factory else None,
+            representation=representation,
+            faults=faults_factory() if faults_factory else None,
+        )
+
+    retry = RetryPolicy(max_retries=2, backoff_base_s=0.2)
+    root = wal_root or tempfile.mkdtemp(prefix="serve-chaos-")
+    dir_ref = f"{root}/reference"
+    dir_crash = f"{root}/crashed"
+    try:
+        reference = IngestionService(
+            make_maintainer(), dir_ref, controller=make_controller(),
+            retry=retry, checkpoint_every=3,
+        )
+        for op, ts in zip(ops, timestamps):
+            reference.submit(op, ts)
+        reference.close()
+        ref_members = sorted(reference.maintainer.independent_set())
+        ref_totals = reference.logical_totals()
+
+        crashed = IngestionService(
+            make_maintainer(), dir_crash, controller=make_controller(),
+            retry=retry, checkpoint_every=3,
+        )
+        cut = 0
+        for i, (op, ts) in enumerate(zip(ops, timestamps)):
+            crashed.submit(op, ts)
+            if crashed.windows_committed >= crash_commits and crashed.pending >= 2:
+                cut = i + 1
+                break
+        if not cut or cut >= len(ops):
+            result.failures.append(
+                f"trace too short to crash mid-window (cut={cut})"
+            )
+            crashed.abandon()
+            return result
+        crashed.abandon()  # the "kill": no drain, no commit, no checkpoint
+        result.crashed_after = cut
+
+        recovered = IngestionService.recover(
+            dir_crash,
+            maintainer_kwargs={
+                "runtime": runtime_factory() if runtime_factory else None,
+                "representation": representation,
+                "faults": faults_factory() if faults_factory else None,
+            },
+            controller=make_controller(), retry=retry, checkpoint_every=3,
+        )
+        result.replayed_windows = recovered.stats.replayed_windows
+        result.replayed_events = recovered.stats.replayed_events
+        for op, ts in zip(ops[cut:], timestamps[cut:]):
+            recovered.submit(op, ts)
+        recovered.close()
+        result.quarantined = recovered.stats.quarantined
+
+        rec_members = sorted(recovered.maintainer.independent_set())
+        rec_totals = recovered.logical_totals()
+        if rec_members != ref_members:
+            result.failures.append(
+                f"members diverged after replay: |recovered|="
+                f"{len(rec_members)} |reference|={len(ref_members)}"
+            )
+        for name in LOGICAL_METERS:
+            if rec_totals[name] != ref_totals[name]:
+                result.failures.append(
+                    f"cumulative meter {name} drifted: recovered="
+                    f"{rec_totals[name]} reference={ref_totals[name]}"
+                )
+        for label, directory in (("reference", dir_ref),
+                                 ("crashed", dir_crash)):
+            problems, summary = audit_log(directory)
+            result.failures.extend(
+                f"{label} log audit: {p}" for p in problems
+            )
+            expected = summary["applied"] + summary["quarantined"]
+            if summary["events"] != expected or summary["pending"]:
+                result.failures.append(
+                    f"{label} log lost events: {summary}"
+                )
+    finally:
+        if wal_root is None:
+            shutil.rmtree(root, ignore_errors=True)
+    return result
+
+
 def chaos_suite(
     presets: Sequence[str] = (),
     seeds: Iterable[int] = (0,),

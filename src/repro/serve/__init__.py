@@ -1,0 +1,65 @@
+"""Durable, overload-resilient ingestion service (ROADMAP item 2).
+
+The :class:`IngestionService` wraps a checkpointable maintainer with a
+write-ahead log + crash recovery, admission control/backpressure,
+retry-with-quarantine for poison windows, and adaptive windowing.  See
+DESIGN.md §13 for the architecture and the WAL format.
+"""
+
+from repro.serve.admission import (
+    POLICIES,
+    AdmissionConfig,
+    AdmissionController,
+    AdmissionStats,
+)
+from repro.serve.controller import (
+    AdaptiveWindowController,
+    FixedWindowController,
+    WindowConfig,
+)
+from repro.serve.service import (
+    DEAD_LETTER_NAME,
+    LOGICAL_METERS,
+    IngestionService,
+    RetryPolicy,
+    ServeStats,
+    SubmitResult,
+    audit_log,
+)
+from repro.serve.trace import (
+    POISON_ID_GAP,
+    TraceConfig,
+    bursty_trace,
+    is_poison,
+)
+from repro.serve.wal import (
+    FSYNC_POLICIES,
+    ScanResult,
+    WALRecord,
+    WriteAheadLog,
+)
+
+__all__ = [
+    "AdaptiveWindowController",
+    "AdmissionConfig",
+    "AdmissionController",
+    "AdmissionStats",
+    "DEAD_LETTER_NAME",
+    "FSYNC_POLICIES",
+    "FixedWindowController",
+    "IngestionService",
+    "LOGICAL_METERS",
+    "POISON_ID_GAP",
+    "POLICIES",
+    "RetryPolicy",
+    "ScanResult",
+    "ServeStats",
+    "SubmitResult",
+    "TraceConfig",
+    "WALRecord",
+    "WindowConfig",
+    "WriteAheadLog",
+    "audit_log",
+    "bursty_trace",
+    "is_poison",
+]

@@ -1,0 +1,110 @@
+"""Admission control and backpressure for the ingestion edge.
+
+The ingress queue (the streaming session's buffer, plus whatever is stuck
+behind a failing window) is bounded by a **high watermark**.  What happens
+to a submission that arrives above it is the admission *policy*:
+
+``block``
+    the producer is held while the service synchronously resolves pending
+    windows (retry / bisect / quarantine, deadlines ignored) until the
+    queue drains to the **low watermark** — overload becomes producer
+    latency, no event is lost;
+``shed``
+    the event is dropped *before* it is sequenced or logged — it never
+    existed as far as durability is concerned — and counted in the shed
+    account;
+``error``
+    :class:`~repro.errors.BackpressureError` is raised to the producer,
+    which must back off and retry.
+
+The low watermark only matters to ``block`` (drain target: hysteresis so a
+blocked producer is not re-blocked by its very next event).  Shedding and
+rejection are deterministic functions of queue depth, so a seeded trace
+produces a bit-reproducible shed account — which is how the CI soak can
+assert "clean shed accounting" at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import BackpressureError, WorkloadError
+
+POLICIES = ("block", "shed", "error")
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Tunables for :class:`AdmissionController`."""
+
+    policy: str = "block"
+    high_watermark: int = 512
+    low_watermark: int = 128
+
+    def __post_init__(self):
+        if self.policy not in POLICIES:
+            raise WorkloadError(
+                f"admission policy must be one of {POLICIES}, "
+                f"got {self.policy!r}"
+            )
+        if self.high_watermark < 1:
+            raise WorkloadError(
+                f"high_watermark must be >= 1, got {self.high_watermark}"
+            )
+        if not 0 <= self.low_watermark <= self.high_watermark:
+            raise WorkloadError(
+                f"low_watermark must be in [0, high_watermark], got "
+                f"{self.low_watermark} (high {self.high_watermark})"
+            )
+
+
+@dataclass
+class AdmissionStats:
+    """The shed account: every submission's fate, by outcome."""
+
+    accepted: int = 0
+    shed: int = 0
+    rejected: int = 0
+    blocked: int = 0  # submissions that had to drain the queue first
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "accepted": self.accepted,
+            "shed": self.shed,
+            "rejected": self.rejected,
+            "blocked": self.blocked,
+        }
+
+
+class AdmissionController:
+    """Decides one submission's fate from the current queue depth."""
+
+    def __init__(self, config: AdmissionConfig = AdmissionConfig()):
+        self.config = config
+        self.stats = AdmissionStats()
+
+    def admit(self, pending: int) -> str:
+        """Classify a submission given ``pending`` already-queued events.
+
+        Returns ``"accept"`` (count it via :meth:`accepted`), ``"shed"``
+        (already counted — drop the event), or ``"drain"`` (the ``block``
+        policy: drain to the low watermark, then re-admit).  The ``error``
+        policy raises instead of returning.
+        """
+        if pending < self.config.high_watermark:
+            return "accept"
+        if self.config.policy == "shed":
+            self.stats.shed += 1
+            return "shed"
+        if self.config.policy == "error":
+            self.stats.rejected += 1
+            raise BackpressureError(pending, self.config.high_watermark)
+        self.stats.blocked += 1
+        return "drain"
+
+    def accepted(self) -> None:
+        self.stats.accepted += 1
+
+    def drain_target(self) -> int:
+        return self.config.low_watermark

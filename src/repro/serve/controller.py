@@ -1,0 +1,190 @@
+"""Adaptive window-size controller (the paper's Fig. 11 knob, closed-loop).
+
+Fig. 11 measures the batch-size trade-off: bigger windows amortize
+supersteps and sync, smaller windows bound per-window latency and
+staleness.  This controller turns that static sweep into a feedback loop
+in the style of adadamp's batch-size damping: grow the window
+geometrically while the *observed* per-window convergence cost stays under
+budget, shrink it multiplicatively the moment cost or churn spikes.
+
+Two deliberate design points:
+
+- **Only logical observations.**  Decisions read supersteps and membership
+  churn — deterministic, engine-independent meters — never wall time.
+  That keeps window boundaries bit-reproducible across runs, runtimes
+  (inline vs multi-process) and machines, which is what lets the chaos
+  oracle and ``bench-perf --check`` pin serve scenarios at all.
+- **Snapshotable.**  The full controller state is a small JSON-exact dict
+  (:meth:`snapshot` / :meth:`restore`), recorded in every WAL commit, so
+  crash recovery resumes windowing *exactly* where the dead process left
+  off.  JSON round-trips Python floats losslessly, so a restored EMA is
+  bit-identical to the live one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+from repro.errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class WindowConfig:
+    """Bounds and gains for :class:`AdaptiveWindowController`.
+
+    ``target_supersteps`` is the per-window convergence budget: the
+    controller steers the *predicted* window cost (EMA supersteps/op x
+    window size) toward it.  ``churn_threshold`` is the churn-per-op level
+    treated as a spike — under heavy churn every operation destabilizes
+    more of the set, so bounding per-window work means shrinking the
+    window (the Assadi et al. motivation: bounded work per update even
+    under adversarial churn).
+    """
+
+    min_window: int = 4
+    max_window: int = 256
+    initial_window: int = 16
+    target_supersteps: float = 24.0
+    #: grow when predicted cost is below this fraction of the target
+    headroom: float = 0.5
+    growth: float = 2.0
+    shrink: float = 0.5
+    #: EMA smoothing for the per-op observations
+    alpha: float = 0.3
+    #: membership churn per op above which the window shrinks outright
+    churn_threshold: float = 1.5
+
+    def __post_init__(self):
+        if not 1 <= self.min_window <= self.max_window:
+            raise WorkloadError(
+                f"need 1 <= min_window <= max_window, got "
+                f"[{self.min_window}, {self.max_window}]"
+            )
+        if not self.min_window <= self.initial_window <= self.max_window:
+            raise WorkloadError(
+                f"initial_window {self.initial_window} outside "
+                f"[{self.min_window}, {self.max_window}]"
+            )
+        if self.target_supersteps <= 0:
+            raise WorkloadError("target_supersteps must be positive")
+        if not 0 < self.headroom < 1:
+            raise WorkloadError("headroom must be in (0, 1)")
+        if self.growth <= 1.0 or not 0 < self.shrink < 1.0:
+            raise WorkloadError(
+                f"need growth > 1 and 0 < shrink < 1, got "
+                f"growth={self.growth} shrink={self.shrink}"
+            )
+        if not 0 < self.alpha <= 1.0:
+            raise WorkloadError(f"alpha must be in (0, 1], got {self.alpha}")
+        if self.churn_threshold <= 0:
+            raise WorkloadError("churn_threshold must be positive")
+
+
+class AdaptiveWindowController:
+    """Grows/shrinks the window size from observed per-window cost."""
+
+    def __init__(self, config: WindowConfig = WindowConfig()):
+        self.config = config
+        self.window_size = config.initial_window
+        self._ema_supersteps_per_op = 0.0
+        self._ema_churn_per_op = 0.0
+        self._observations = 0
+        self.grows = 0
+        self.shrinks = 0
+
+    def observe(self, operations: int, supersteps: int, churn: int) -> int:
+        """Feed one applied window's logical outcome; returns the window
+        size to use for the *next* window."""
+        if operations <= 0:
+            return self.window_size
+        cfg = self.config
+        supersteps_per_op = supersteps / operations
+        churn_per_op = churn / operations
+        if self._observations == 0:
+            self._ema_supersteps_per_op = supersteps_per_op
+            self._ema_churn_per_op = churn_per_op
+        else:
+            a = cfg.alpha
+            self._ema_supersteps_per_op += a * (
+                supersteps_per_op - self._ema_supersteps_per_op
+            )
+            self._ema_churn_per_op += a * (
+                churn_per_op - self._ema_churn_per_op
+            )
+        self._observations += 1
+        predicted = self._ema_supersteps_per_op * self.window_size
+        if (supersteps > cfg.target_supersteps
+                or churn_per_op > cfg.churn_threshold):
+            # the window just blew its budget (or churn spiked): back off
+            # multiplicatively before the next one compounds the damage
+            shrunk = max(cfg.min_window, int(self.window_size * cfg.shrink))
+            if shrunk < self.window_size:
+                self.shrinks += 1
+            self.window_size = shrunk
+        elif predicted < cfg.target_supersteps * cfg.headroom:
+            # comfortably under budget: amortize more barriers per window
+            grown = min(
+                cfg.max_window,
+                max(self.window_size + 1,
+                    int(self.window_size * cfg.growth)),
+            )
+            if grown > self.window_size:
+                self.grows += 1
+            self.window_size = grown
+        return self.window_size
+
+    # ------------------------------------------------------------------
+    # crash-recovery snapshots (recorded in every WAL commit)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "w": self.window_size,
+            "es": self._ema_supersteps_per_op,
+            "ec": self._ema_churn_per_op,
+            "n": self._observations,
+            "g": self.grows,
+            "s": self.shrinks,
+        }
+
+    def restore(self, snapshot: Dict[str, Any]) -> None:
+        try:
+            self.window_size = int(snapshot["w"])
+            self._ema_supersteps_per_op = float(snapshot["es"])
+            self._ema_churn_per_op = float(snapshot["ec"])
+            self._observations = int(snapshot["n"])
+            self.grows = int(snapshot["g"])
+            self.shrinks = int(snapshot["s"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise WorkloadError(
+                f"malformed controller snapshot {snapshot!r}: {exc}"
+            ) from exc
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Human-facing stats (CLI / bench reporting)."""
+        return {
+            "window_size": self.window_size,
+            "grows": self.grows,
+            "shrinks": self.shrinks,
+            "ema_supersteps_per_op": round(self._ema_supersteps_per_op, 4),
+            "ema_churn_per_op": round(self._ema_churn_per_op, 4),
+        }
+
+
+class FixedWindowController(AdaptiveWindowController):
+    """Degenerate controller: a constant window size (the paper's static
+    ``b``).  Lets every serve code path take a controller without
+    branching on "adaptive or not"."""
+
+    def __init__(self, window_size: int):
+        if window_size < 1:
+            raise WorkloadError(
+                f"window_size must be >= 1, got {window_size}"
+            )
+        super().__init__(WindowConfig(
+            min_window=window_size, max_window=window_size,
+            initial_window=window_size,
+        ))
+
+    def observe(self, operations: int, supersteps: int, churn: int) -> int:
+        return self.window_size

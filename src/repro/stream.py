@@ -22,6 +22,7 @@ supersteps and sync, smaller windows bound staleness.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Set
 
@@ -100,6 +101,14 @@ class StreamingSession:
         self.on_window = on_window
         self.close_maintainer = close_maintainer
         self.history: List[WindowReport] = []
+        #: reports of the windows an :meth:`offer_many` call flushed before
+        #: a later flush raised (also attached to the exception itself as
+        #: ``exc.partial_reports`` when the exception allows attributes)
+        self.partial_reports: List[WindowReport] = []
+        #: most operations ever buffered at once (backpressure high-water
+        #: mark — how deep the ingress queue got behind a slow or stuck
+        #: window)
+        self.max_pending: int = 0
         self._buffer: List[EdgeUpdate] = []
         self._window_start_ts: Optional[float] = None
         self._last_ts: Optional[float] = None
@@ -149,6 +158,7 @@ class StreamingSession:
                 # stuck window before the failure propagates, so a later
                 # retry applies both
                 self._buffer.append(op)
+                self.max_pending = max(self.max_pending, len(self._buffer))
                 raise
         if not self._buffer:
             self._window_start_ts = timestamp
@@ -158,6 +168,7 @@ class StreamingSession:
             # window would be pinned untimed and never time-flush
             self._window_start_ts = timestamp
         self._buffer.append(op)
+        self.max_pending = max(self.max_pending, len(self._buffer))
         if len(self._buffer) >= self.window_size:
             report = self.flush()
         return report
@@ -165,13 +176,28 @@ class StreamingSession:
     def offer_many(
         self, operations: Sequence[EdgeUpdate], timestamps: Optional[Sequence[float]] = None
     ) -> List[WindowReport]:
-        """Feed a sequence of events; returns the reports of all flushes."""
-        reports = []
-        for i, op in enumerate(operations):
-            ts = timestamps[i] if timestamps is not None else None
-            report = self.offer(op, timestamp=ts)
-            if report is not None:
-                reports.append(report)
+        """Feed a sequence of events; returns the reports of all flushes.
+
+        If a flush raises part-way through, the reports of the windows that
+        *did* apply are not lost: they are exposed as
+        :attr:`partial_reports` on the session and attached to the raised
+        exception as ``exc.partial_reports`` (best-effort — some exception
+        types reject new attributes).
+        """
+        reports: List[WindowReport] = []
+        try:
+            for i, op in enumerate(operations):
+                ts = timestamps[i] if timestamps is not None else None
+                report = self.offer(op, timestamp=ts)
+                if report is not None:
+                    reports.append(report)
+        except BaseException as exc:
+            self.partial_reports = reports
+            try:
+                exc.partial_reports = reports
+            except (AttributeError, TypeError):  # __slots__ exceptions
+                pass
+            raise
         return reports
 
     def flush(self) -> Optional[WindowReport]:
@@ -240,16 +266,34 @@ class StreamingSession:
             self.on_window(report)
         return report
 
+    def take_pending(self) -> List[EdgeUpdate]:
+        """Remove and return the buffered (un-applied) operations.
+
+        The window anchor resets with the buffer.  This is the hook
+        :class:`repro.serve.service.IngestionService` uses to bisect a
+        poison window: take the stuck events out, re-offer the halves, and
+        quarantine the operation(s) that still refuse to apply.
+        """
+        taken = self._buffer
+        self._buffer = []
+        self._window_start_ts = None
+        return taken
+
     def close(self) -> Optional[WindowReport]:
         """Flush any remaining events and refuse further offers.
 
-        With ``close_maintainer=True`` the maintainer's ``close()`` runs
-        after the final flush (releasing e.g. a
-        :class:`~repro.runtime.parallel.ParallelRuntime` worker pool).
+        Exception-safe: even when the final flush raises (a poison event in
+        the tail window, a fault escalation), the session still seals itself
+        and — with ``close_maintainer=True`` — still releases the
+        maintainer's execution backend, so a
+        :class:`~repro.runtime.parallel.ParallelRuntime` worker pool is
+        never leaked behind a failed close.
         """
-        report = self.flush()
-        self._closed = True
-        self._close_maintainer()
+        try:
+            report = self.flush()
+        finally:
+            self._closed = True
+            self._close_maintainer()
         return report
 
     def _close_maintainer(self) -> None:
@@ -275,8 +319,15 @@ class StreamingSession:
         Failed attempts contribute to ``failed_windows``, ``failovers``
         and ``failed_wall_time_s`` — their events never applied, but the
         time burned attempting them (and any worker declared dead) is
-        real and must not vanish from the stream's account."""
+        real and must not vanish from the stream's account.
+
+        Per-window latency is summarized as nearest-rank percentiles of
+        the applied windows' ``wall_time_s`` (P50/P95/P99 — the numbers a
+        latency SLO is written against), and ``max_pending`` reports the
+        ingress high-water mark: the deepest the buffer ever got, e.g.
+        while events queued behind a stuck window."""
         applied = [r for r in self.history if not r.failed]
+        walls = sorted(r.wall_time_s for r in applied)
         return {
             "windows": len(applied),
             "failed_windows": len(self.history) - len(applied),
@@ -291,4 +342,19 @@ class StreamingSession:
             # failed windows roll back state but a worker declared dead
             # stays dead — count failovers across every attempt
             "failovers": sum(r.failovers for r in self.history),
+            "wall_time_p50_s": percentile(walls, 0.50),
+            "wall_time_p95_s": percentile(walls, 0.95),
+            "wall_time_p99_s": percentile(walls, 0.99),
+            "max_pending": self.max_pending,
         }
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted sequence (0.0 when
+    empty — there is no latency to report before the first window)."""
+    if not sorted_values:
+        return 0.0
+    if not 0.0 < q <= 1.0:
+        raise WorkloadError(f"percentile q must be in (0, 1], got {q}")
+    rank = math.ceil(q * len(sorted_values))
+    return sorted_values[rank - 1]

@@ -294,3 +294,138 @@ class TestAtomicFlush:
         assert totals["wall_time_s"] == 0.0  # nothing applied
         assert totals["failed_wall_time_s"] == report.wall_time_s
         assert totals["supersteps"] == 0
+
+
+class TestCloseExceptionSafety:
+    _faulted_session = TestAtomicFlush._faulted_session
+
+    def test_close_releases_maintainer_when_final_flush_raises(self):
+        # regression: close() only sealed the session and released the
+        # maintainer after a successful final flush — a poison tail window
+        # leaked the execution backend
+        from repro.errors import SyncRetryExhausted
+
+        session = self._faulted_session(window_size=100,
+                                        close_maintainer=True)
+        closed = []
+        real_close = session.maintainer.close
+        session.maintainer.close = lambda: (closed.append(True),
+                                            real_close())
+        session.offer(EdgeDeletion(0, 1))
+        with pytest.raises(SyncRetryExhausted):
+            session.close()
+        assert closed == [True]
+        with pytest.raises(WorkloadError):  # sealed despite the failure
+            session.offer(EdgeInsertion(1, 3))
+
+    def test_close_stops_worker_pool_despite_poison_tail(self):
+        # the end-to-end version: a real process pool must be joined even
+        # when the closing flush raises on an invalid operation
+        from repro.runtime import ParallelRuntime
+
+        runtime = ParallelRuntime(procs=2, start_method="fork")
+        maintainer = MISMaintainer(path_graph(6), num_workers=2,
+                                   runtime=runtime)
+        session = StreamingSession(maintainer, window_size=2,
+                                   close_maintainer=True)
+        session.offer(EdgeDeletion(0, 1))
+        session.offer(EdgeDeletion(2, 3))  # spawns the pool, applies
+        assert runtime._workers  # pool is live mid-session
+        session.offer(EdgeDeletion(0, 1))  # now a missing edge: poison
+        with pytest.raises(WorkloadError):
+            session.close()
+        assert runtime._workers == []  # joined, not leaked
+
+    def test_context_manager_releases_on_body_exception(self):
+        closed = []
+        session = _session(window_size=10, close_maintainer=True)
+        real_close = session.maintainer.close
+        session.maintainer.close = lambda: (closed.append(True),
+                                            real_close())
+        with pytest.raises(RuntimeError):
+            with session:
+                raise RuntimeError("producer blew up")
+        assert closed == [True]
+
+
+class TestOfferMany:
+    def test_returns_all_reports_on_success(self):
+        session = _session(window_size=2)
+        reports = session.offer_many([
+            EdgeDeletion(0, 1), EdgeDeletion(2, 3),
+            EdgeDeletion(3, 4), EdgeDeletion(4, 5),
+        ])
+        assert len(reports) == 2
+        assert all(not r.failed for r in reports)
+        assert session.partial_reports == []
+
+    def test_partial_reports_survive_mid_stream_failure(self):
+        # regression: a flush failure part-way through offer_many threw
+        # away the reports of the windows that did apply
+        session = _session(window_size=2)
+        ops = [
+            EdgeDeletion(0, 1), EdgeDeletion(2, 3),  # window 1: applies
+            EdgeDeletion(0, 1), EdgeDeletion(3, 4),  # window 2: poison
+        ]
+        with pytest.raises(WorkloadError) as info:
+            session.offer_many(ops)
+        assert len(session.partial_reports) == 1
+        assert session.partial_reports[0].operations == 2
+        assert not session.partial_reports[0].failed
+        # best-effort copy on the exception itself
+        assert info.value.partial_reports == session.partial_reports
+        # the poison window is still buffered for bisection / retry
+        assert session.pending == 2
+
+
+class TestTotalsStatistics:
+    def test_percentile_nearest_rank(self):
+        from repro.stream import percentile
+
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0.50) == 2.0
+        assert percentile(values, 0.75) == 3.0
+        assert percentile(values, 0.95) == 4.0
+        assert percentile(values, 1.00) == 4.0
+        assert percentile([], 0.50) == 0.0
+        with pytest.raises(WorkloadError):
+            percentile(values, 0.0)
+        with pytest.raises(WorkloadError):
+            percentile(values, 1.5)
+
+    def test_totals_report_latency_percentiles(self):
+        session = _session(window_size=2)
+        session.offer_many([
+            EdgeDeletion(0, 1), EdgeDeletion(2, 3),
+            EdgeDeletion(3, 4), EdgeDeletion(4, 5),
+        ])
+        totals = session.totals()
+        walls = sorted(r.wall_time_s for r in session.history)
+        assert totals["wall_time_p50_s"] == walls[0]
+        assert totals["wall_time_p95_s"] == walls[-1]
+        assert totals["wall_time_p99_s"] == walls[-1]
+
+    def test_max_pending_high_water_mark(self):
+        session = _session(window_size=3)
+        session.offer(EdgeDeletion(0, 1))
+        assert session.totals()["max_pending"] == 1
+        session.offer(EdgeDeletion(2, 3))
+        session.offer(EdgeDeletion(3, 4))  # fills and flushes the window
+        assert session.pending == 0
+        assert session.totals()["max_pending"] == 3
+
+
+class TestTakePending:
+    def test_take_pending_empties_buffer_and_resets_anchor(self):
+        session = _session(window_size=10, window_interval=5.0)
+        session.offer(EdgeDeletion(0, 1), timestamp=1.0)
+        session.offer(EdgeDeletion(2, 3), timestamp=2.0)
+        taken = session.take_pending()
+        assert [op.edge for op in taken] == [(0, 1), (2, 3)]
+        assert session.pending == 0
+        assert session.flush() is None
+        # the window anchor reset with the buffer: a much later event
+        # starts a fresh window instead of time-flushing an empty one
+        report = session.offer(EdgeDeletion(0, 1), timestamp=100.0)
+        assert report is None
+        assert session.pending == 1
