@@ -407,6 +407,161 @@ def _serve_bursty(
     return entry
 
 
+def _elastic_transitions(
+    tag: str, k: int, seed: int, batch_size: int,
+    joins: Tuple[Tuple[int, int], ...] = (),
+    drains: Tuple[Tuple[int, int], ...] = (),
+) -> Dict[str, Any]:
+    """Voluntary joins/drains mid-stream vs a static-membership reference.
+
+    The static run is the bit-identity oracle (any drift in a logical
+    field or ``compute_work`` raises); the elastic run's sections become
+    the entry, with the deterministic ``rebalance_*`` meters pinned inside
+    the logical section (movement cost is part of the contract) and the
+    per-transition trace — moved counts, modelled barrier stall,
+    post-transition residency skew — recorded under ``perf.elastic``.
+    ``joins``/``drains`` are ``(worker, run)`` pairs.
+    """
+    from repro.faults import DrainSpec, FaultInjector, FaultPlan, JoinSpec
+
+    def run(faults):
+        base = load_dataset(tag)
+        ops = delete_reinsert_workload(base, k, seed=seed)
+        maintainer = DOIMISMaintainer(
+            base.copy(), num_workers=10,
+            strategy=ActivationStrategy.SAME_STATUS, faults=faults,
+        )
+        maintainer.apply_stream(ops, batch_size=batch_size)
+        return maintainer
+
+    static = run(None)
+    plan = FaultPlan(
+        seed=0,
+        joins=tuple(JoinSpec(superstep=0, worker=w, run=r)
+                    for w, r in joins),
+        drains=tuple(DrainSpec(superstep=0, worker=w, run=r)
+                     for w, r in drains),
+    )
+    elastic = run(FaultInjector(plan))
+    static_entry = _sections(
+        static.independent_set(), static.update_metrics, static.graph
+    )
+    entry = _sections(
+        elastic.independent_set(), elastic.update_metrics, elastic.graph
+    )
+    if _stable_sections(static_entry) != _stable_sections(entry):
+        raise RuntimeError(
+            f"elastic_transitions_{tag}: elastic membership diverged from "
+            "the static-membership reference"
+        )
+    failover = elastic.failover
+    if failover is None or not failover.transitions:
+        raise RuntimeError(
+            f"elastic_transitions_{tag}: no membership transition applied"
+        )
+    rebalance = elastic.update_metrics.rebalance_summary()
+    entry["logical"]["rebalance"] = dict(rebalance)
+    num_vertices = elastic.graph.num_vertices
+    members = failover.view.members()
+    counts = {w: 0 for w in members}
+    for u in sorted(elastic.graph.vertices()):
+        w = failover.worker_of(u)
+        counts[w] = counts.get(w, 0) + 1
+    loads = list(counts.values())
+    mean = sum(loads) / len(loads) if loads else 0.0
+    entry["params"] = {"kind": "elastic_transitions", "dataset": tag,
+                       "k": k, "seed": seed, "batch_size": batch_size,
+                       "workers": 10, "joins": [list(j) for j in joins],
+                       "drains": [list(d) for d in drains]}
+    entry["perf"]["elastic"] = {
+        "transitions": [
+            {"superstep": e.superstep, "joined": list(e.joined),
+             "drained": list(e.drained), "moved": e.moved,
+             "epoch": e.epoch, "stall_s": e.stall_s}
+            for e in failover.transitions
+        ],
+        "members_after": len(members),
+        "moved_fraction": round(
+            rebalance["rebalance_moved_vertices"] / num_vertices, 4
+        ) if num_vertices else 0.0,
+        "post_skew": round(max(loads) / mean, 4) if mean else 1.0,
+    }
+    return entry
+
+
+def _autoscale_policy_chung_lu(
+    n: int = 600, avg_degree: float = 8.0, exponent: float = 2.2,
+    seed: int = 3, k: int = 60, batch_size: int = 5,
+) -> Dict[str, Any]:
+    """Autoscale policy sweep on a Chung–Lu power-law graph.
+
+    Runs a delete-reinsert stream on a skewed synthetic graph with
+    per-superstep records kept, then replays the observed per-worker work
+    through :class:`~repro.runtime.elastic.LoadBalancer` +
+    :class:`~repro.runtime.elastic.AutoscalePolicy`, simulating the pool
+    the decisions would produce.  Both the run and every decision are pure
+    functions of logical meters, so the full decision trace is pinned in
+    the logical section.
+    """
+    from repro.graph.generators import chung_lu
+    from repro.runtime.elastic import AutoscalePolicy, LoadBalancer
+
+    base = chung_lu(n, avg_degree, exponent=exponent, seed=seed)
+    ops = delete_reinsert_workload(base, k, seed=seed)
+    maintainer = DOIMISMaintainer(
+        base.copy(), num_workers=10,
+        strategy=ActivationStrategy.SAME_STATUS, keep_records=True,
+    )
+    maintainer.apply_stream(ops, batch_size=batch_size)
+    entry = _sections(
+        maintainer.independent_set(), maintainer.update_metrics,
+        maintainer.graph,
+    )
+    records = maintainer.update_metrics.records
+    # calibrate capacity to the observed mean so the sweep crosses both
+    # hysteresis edges as the barrier load swings
+    mean_work = (sum(r.compute_work for r in records) / len(records)
+                 if records else 0.0)
+    policy = AutoscalePolicy(
+        target_utilization=0.7, hysteresis=0.15,
+        worker_capacity=max(mean_work / 4.0, 1.0),
+        min_workers=2, max_workers=8, cooldown=1,
+    )
+    balancer = LoadBalancer(window=4, skew_threshold=1.5)
+    pool = 4
+    pool_trace: List[int] = []
+    for record in records:
+        if not record.worker_work:
+            continue
+        balancer.observe(record.worker_work, record.active_vertices)
+        decision = policy.decide(balancer, pool)
+        pool = max(policy.min_workers,
+                   min(policy.max_workers, pool + decision.workers_delta))
+        pool_trace.append(pool)
+    actions = [d.action for d in policy.decisions]
+    entry["params"] = {"kind": "autoscale_policy", "model": "chung_lu",
+                       "n": n, "avg_degree": avg_degree,
+                       "exponent": exponent, "seed": seed, "k": k,
+                       "batch_size": batch_size, "workers": 10}
+    entry["logical"]["autoscale"] = {
+        "decisions": len(actions),
+        "scale_ups": actions.count("scale_up"),
+        "scale_downs": actions.count("scale_down"),
+        "rebalances": actions.count("rebalance"),
+        "holds": actions.count("hold"),
+        "final_pool": pool_trace[-1] if pool_trace else 4,
+        "trace_checksum": hashlib.sha256(
+            ",".join(actions).encode()
+        ).hexdigest()[:16],
+    }
+    entry["perf"]["autoscale"] = {
+        "pool_min": min(pool_trace) if pool_trace else 4,
+        "pool_max": max(pool_trace) if pool_trace else 4,
+        "final_skew": round(balancer.skew(), 4),
+    }
+    return entry
+
+
 SCENARIOS: Dict[str, Callable[[], Dict[str, Any]]] = {
     "static_oimis_SKI": lambda: _static_oimis("SKI"),
     "static_oimis_TW": lambda: _static_oimis("TW"),
@@ -427,6 +582,11 @@ SCENARIOS: Dict[str, Callable[[], Dict[str, Any]]] = {
     "serve_poison_SL": lambda: _serve_bursty(
         "SL", 300, 11, poison_prob=0.05, admission_policy="shed",
         high_watermark=24, low_watermark=8, max_window=16, backoff_s=0.5),
+    "elastic_scale_up_TW": lambda: _elastic_transitions(
+        "TW", 100, 11, 25, joins=((10, 2), (11, 3))),
+    "elastic_drain_SKI": lambda: _elastic_transitions(
+        "SKI", 60, 7, 10, drains=((5, 3),)),
+    "autoscale_policy_chung_lu": lambda: _autoscale_policy_chung_lu(),
 }
 
 

@@ -22,6 +22,10 @@ Subcommands
                windowing + retry/quarantine, with ``--check`` auditing
                exactly-once accounting and ``--chaos`` running the
                kill-and-recover bit-identity oracle.
+``rebalance``  script voluntary worker joins/drains at mid-stream barriers
+               and assert the elastic-membership oracle: members and
+               logical meters bit-identical to the static-membership run,
+               every movement cost on the ``rebalance_*`` family.
 ``bench-perf`` run the seeded perf microbenchmarks, writing (or, with
                ``--check``, diffing against) the committed
                ``BENCH_core.json`` baseline.
@@ -485,6 +489,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 max_retries=args.retries, backoff_base_s=args.backoff,
             ),
             fsync=args.fsync, checkpoint_every=args.checkpoint_every,
+            autoscale=args.autoscale,
+            target_utilization=args.target_utilization,
         )
         start = perf_counter()
         for i, op in enumerate(operations):
@@ -529,6 +535,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             ctl = summary["controller"]
             print(f"  controller        window={ctl['window_size']} "
                   f"grows={ctl['grows']} shrinks={ctl['shrinks']}")
+            if "autoscale" in summary:
+                scale = summary["autoscale"]
+                print(f"  autoscale         pool={scale['pool_size']} "
+                      f"ups={summary['scale_ups']} "
+                      f"downs={summary['scale_downs']} "
+                      f"u={scale['utilization']} skew={scale['skew']}")
             print(f"  |MIS|             {len(maintainer.independent_set())}")
             print(f"  wal               {wal_dir}"
                   f"{'' if args.wal_dir else ' (temporary)'}")
@@ -553,6 +565,141 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     finally:
         if args.wal_dir is None:
             shutil.rmtree(wal_dir, ignore_errors=True)
+
+
+def _parse_transition(text: str):
+    """``WORKER[@RUN]`` → ``(worker, run)`` (run defaults to 1)."""
+    worker, _, run = text.partition("@")
+    try:
+        return int(worker), int(run) if run else 1
+    except ValueError:
+        raise ReproError(
+            f"bad transition {text!r}: expected WORKER or WORKER@RUN"
+        ) from None
+
+
+def _cmd_rebalance(args: argparse.Namespace) -> int:
+    """Scripted elastic transitions on one workload + the identity oracle."""
+    from repro.bench.workloads import delete_reinsert_workload
+    from repro.faults import DrainSpec, FaultInjector, FaultPlan, JoinSpec
+    from repro.faults.chaos import LOGICAL_METERS
+    from repro.graph.datasets import load_dataset
+
+    drains = tuple(
+        DrainSpec(superstep=0, worker=w, run=r)
+        for w, r in (_parse_transition(t) for t in args.drain or ())
+    )
+    joins = tuple(
+        JoinSpec(superstep=0, worker=w, run=r)
+        for w, r in (_parse_transition(t) for t in args.join or ())
+    )
+    if not drains and not joins:
+        raise ReproError(
+            "rebalance needs at least one --drain or --join (WORKER[@RUN])"
+        )
+    plan = FaultPlan(seed=0, drains=drains, joins=joins)
+    representation = getattr(args, "representation", None)
+
+    def run_once(faults):
+        runtime = _resolve_cli_runtime(args)
+        maintainer = MISMaintainer(
+            load_dataset(args.dataset), num_workers=args.workers,
+            strategy=ActivationStrategy.SAME_STATUS,
+            faults=faults, runtime=runtime,
+            representation=representation,
+        )
+        ops = delete_reinsert_workload(
+            load_dataset(args.dataset), args.k, seed=args.seed
+        )
+        try:
+            maintainer.apply_stream(ops, batch_size=args.batch_size)
+        finally:
+            if runtime is not None:
+                maintainer.close()
+        return maintainer
+
+    reference = run_once(None)
+    elastic = run_once(FaultInjector(plan))
+
+    failures: List[str] = []
+    if sorted(elastic.independent_set()) != \
+            sorted(reference.independent_set()):
+        failures.append("members diverged from the static-membership run")
+    for name in LOGICAL_METERS:
+        ours = getattr(elastic.update_metrics, name)
+        theirs = getattr(reference.update_metrics, name)
+        if ours != theirs:
+            failures.append(
+                f"logical meter {name} drifted: elastic={ours} "
+                f"static={theirs}"
+            )
+
+    failover = elastic.failover
+    events = failover.transitions if failover is not None else []
+    rebalance = elastic.update_metrics.rebalance_summary()
+    # post-transition residency skew under the effective placement
+    skew = 1.0
+    members = []
+    if failover is not None:
+        members = failover.view.members()
+        counts = {w: 0 for w in members}
+        for u in sorted(elastic.graph.vertices()):
+            counts[failover.worker_of(u)] = \
+                counts.get(failover.worker_of(u), 0) + 1
+        loads = [c for c in counts.values()]
+        mean = sum(loads) / len(loads) if loads else 0.0
+        skew = max(loads) / mean if mean else 1.0
+
+    if args.format == "json":
+        print(json.dumps({
+            "dataset": args.dataset,
+            "k": args.k,
+            "batch_size": args.batch_size,
+            "workers": args.workers,
+            "drains": [[s.worker, s.run] for s in drains],
+            "joins": [[s.worker, s.run] for s in joins],
+            "epoch": failover.epoch if failover is not None else 0,
+            "members": len(members),
+            "transitions": [
+                {"superstep": e.superstep, "joined": list(e.joined),
+                 "drained": list(e.drained), "moved": e.moved,
+                 "epoch": e.epoch, "stall_s": e.stall_s}
+                for e in events
+            ],
+            "rebalance": rebalance,
+            "post_skew": round(skew, 4),
+            "ok": not failures,
+            "failures": failures,
+        }, indent=2, sort_keys=True))
+    else:
+        print(f"rebalance: dataset={args.dataset} k={args.k} "
+              f"batch={args.batch_size} workers={args.workers}")
+        print(f"  joins             "
+              f"{[f'{s.worker}@{s.run}' for s in joins] or '-'}")
+        print(f"  drains            "
+              f"{[f'{s.worker}@{s.run}' for s in drains] or '-'}")
+        print(f"  epoch             "
+              f"{failover.epoch if failover is not None else 0} "
+              f"({len(events)} transition(s), {len(members)} member(s))")
+        print(f"  moved             "
+              f"{rebalance['rebalance_moved_vertices']} vertex(es)")
+        print(f"  resync            {rebalance['rebalance_resync_bytes']} B "
+              f"/ {rebalance['rebalance_resync_messages']} message(s), "
+              f"{rebalance['rebalance_rank_entries']} rank entr(ies)")
+        print(f"  stall             {rebalance['rebalance_stall_s']} s "
+              f"(modelled)")
+        print(f"  post skew         {skew:.4f} (max/mean residents)")
+        for failure in failures:
+            print(f"  FAIL {failure}")
+    stream = sys.stderr if args.format == "json" else sys.stdout
+    if failures:
+        print(f"{len(failures)} rebalance oracle violation(s)",
+              file=sys.stderr)
+        return 1
+    print("ok: elastic run is bit-identical to the static-membership run "
+          "(members + logical meters); all costs on rebalance_*",
+          file=stream)
+    return 0
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -794,8 +941,54 @@ def build_parser() -> argparse.ArgumentParser:
         "mid-window, recover from the WAL, assert bit-identity with an "
         "uninterrupted run",
     )
+    serve.add_argument(
+        "--autoscale", action="store_true",
+        help="consult the target-utilization autoscale policy between "
+        "windows, growing/shrinking the process pool (results stay "
+        "bit-identical at any pool size)",
+    )
+    serve.add_argument(
+        "--target-utilization", type=float, default=None, metavar="U",
+        help="autoscale utilization target in (0, 1] (default 0.7)",
+    )
     serve.add_argument("--format", choices=("table", "json"), default="table")
     serve.set_defaults(fn=_cmd_serve)
+
+    rebalance = sub.add_parser(
+        "rebalance",
+        help="script voluntary worker joins/drains mid-stream and assert "
+        "the elastic-membership oracle (bit-identity + rebalance_* "
+        "quarantine)",
+    )
+    rebalance.add_argument(
+        "--dataset", choices=datasets.dataset_tags(), default="AM",
+    )
+    rebalance.add_argument("--k", type=int, default=25,
+                           help="edges deleted then re-inserted (2k ops)")
+    rebalance.add_argument("--batch-size", type=int, default=1)
+    rebalance.add_argument("--workers", type=int, default=10)
+    rebalance.add_argument("--seed", type=int, default=0,
+                           help="workload seed")
+    rebalance.add_argument(
+        "--drain", action="append", metavar="WORKER[@RUN]",
+        help="drain WORKER at the barrier of update run RUN (default 1); "
+        "repeatable",
+    )
+    rebalance.add_argument(
+        "--join", action="append", metavar="WORKER[@RUN]",
+        help="join WORKER at the barrier of update run RUN (default 1); "
+        "repeatable",
+    )
+    rebalance.add_argument(
+        "--runtime", choices=("inline", "process"), default="inline",
+    )
+    rebalance.add_argument("--procs", type=int, default=None, metavar="N")
+    rebalance.add_argument(
+        "--representation", choices=("dict", "csr"), default=None,
+    )
+    rebalance.add_argument("--format", choices=("table", "json"),
+                           default="table")
+    rebalance.set_defaults(fn=_cmd_rebalance)
 
     bench_perf = sub.add_parser(
         "bench-perf",

@@ -29,13 +29,16 @@ from repro.faults.membership import (
     GuestAuditor,
     MembershipConfig,
     MembershipView,
+    TransitionEvent,
     rendezvous_worker,
     resolve_membership,
 )
 from repro.faults.plan import (
     CorruptGuestSpec,
     CrashSpec,
+    DrainSpec,
     FaultPlan,
+    JoinSpec,
     LossSpec,
     ReorderSpec,
     StragglerSpec,
@@ -47,11 +50,13 @@ from repro.faults.recovery import SuperstepCheckpoint, guest_rebuild_cost
 __all__ = [
     "CorruptGuestSpec",
     "CrashSpec",
+    "DrainSpec",
     "FailoverCoordinator",
     "FaultInjector",
     "FaultPlan",
     "FaultStats",
     "GuestAuditor",
+    "JoinSpec",
     "LossSpec",
     "MembershipConfig",
     "MembershipView",
@@ -60,6 +65,7 @@ __all__ = [
     "StragglerSpec",
     "SuperstepCheckpoint",
     "SyncDropSpec",
+    "TransitionEvent",
     "SyncDuplicateSpec",
     "chaos_suite",
     "guest_rebuild_cost",

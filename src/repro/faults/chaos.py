@@ -29,7 +29,7 @@ from repro.core.activation import ActivationStrategy
 from repro.core.doimis import DOIMISMaintainer
 from repro.errors import ReproError, WorkloadError
 from repro.faults.injector import FaultInjector
-from repro.faults.plan import FaultPlan, LossSpec
+from repro.faults.plan import DrainSpec, FaultPlan, JoinSpec, LossSpec
 
 #: fault-plan presets swept by ``repro-mis chaos`` — kwargs for
 #: :class:`FaultPlan` (the seed is supplied per case).  Probabilities are
@@ -71,6 +71,29 @@ PLAN_PRESETS: Dict[str, Dict[str, Any]] = {
     # guest copies silently diverge from host state after a sync — only the
     # anti-entropy auditor (sampled checksums + read-repair) can see it
     "corrupt-guest": {"corrupt_prob": 0.02},
+    # voluntary elasticity: workers drain mid-stream at a barrier, their
+    # partitions migrating to survivors *before* they leave — all movement
+    # cost must land on the rebalance_* family, never on recovery_*
+    "drain-under-stream": {
+        "drains": (
+            DrainSpec(superstep=0, worker=3, run=4),
+            DrainSpec(superstep=0, worker=6, run=8),
+        ),
+    },
+    # a join and a drain in one stream: the pool grows by a new worker,
+    # then shrinks — placement is re-rendezvoused at each epoch and the
+    # fixpoint must stay bit-identical to the static-membership run
+    "elastic": {
+        "joins": (JoinSpec(superstep=0, worker=10, run=2),),
+        "drains": (DrainSpec(superstep=0, worker=4, run=5),),
+    },
+    # the ISSUE's race: a voluntary drain with crashes firing around it —
+    # the drained worker must never be drawn for a crash, and both the
+    # drain's rebalance and the crashes' recovery must converge
+    "drain-crash-race": {
+        "drains": (DrainSpec(superstep=0, worker=2, run=3),),
+        "crash_prob": 0.02,
+    },
 }
 
 
@@ -140,6 +163,7 @@ class ChaosCaseResult:
     injected: Dict[str, int] = field(default_factory=dict)
     recovery: Dict[str, float] = field(default_factory=dict)
     divergence: Dict[str, int] = field(default_factory=dict)
+    rebalance: Dict[str, float] = field(default_factory=dict)
     failures: List[str] = field(default_factory=list)
 
     @property
@@ -159,6 +183,7 @@ class ChaosCaseResult:
             "injected": dict(self.injected),
             "recovery": dict(self.recovery),
             "divergence": dict(self.divergence),
+            "rebalance": dict(self.rebalance),
             "failures": list(self.failures),
         }
 
@@ -267,6 +292,12 @@ def run_chaos_case(
         name: init_divergence[name] + update_divergence[name]
         for name in update_divergence
     }
+    init_rebalance = maintainer.init_metrics.rebalance_summary()
+    update_rebalance = metrics.rebalance_summary()
+    result.rebalance = {
+        name: init_rebalance[name] + update_rebalance[name]
+        for name in update_rebalance
+    }
 
     failover = maintainer.failover
     if failover is not None:
@@ -317,6 +348,23 @@ def run_chaos_case(
         if divergence_total:
             result.failures.append(
                 f"empty plan charged divergence meters: {result.divergence}"
+            )
+        rebalance_total = sum(result.rebalance.values())
+        if rebalance_total:
+            result.failures.append(
+                f"empty plan charged rebalance meters: {result.rebalance}"
+            )
+    if plan.schedules_transitions:
+        applied = (result.injected.get("drains", 0)
+                   + result.injected.get("joins", 0))
+        if not applied:
+            result.failures.append(
+                "plan schedules membership transitions but none applied"
+            )
+        if not result.rebalance.get("rebalance_moved_vertices"):
+            result.failures.append(
+                "membership transitions applied but no movement was "
+                "charged to the rebalance meters"
             )
     return result
 
@@ -490,6 +538,113 @@ def serve_crash_replay(
                 result.failures.append(
                     f"{label} log lost events: {summary}"
                 )
+    finally:
+        if wal_root is None:
+            shutil.rmtree(root, ignore_errors=True)
+    return result
+
+
+def serve_drain_replay(
+    tag: str = "AM",
+    num_ops: int = 160,
+    seed: int = 7,
+    preset: str = "drain-under-stream",
+    runtime_factory=None,
+    representation=None,
+    wal_root: Optional[str] = None,
+) -> ServeChaosResult:
+    """Drain worker(s) mid-window of a bursty serve trace; assert the oracle.
+
+    Runs the same seeded trace twice: once with static membership, once
+    with ``preset``'s scheduled drains/joins firing at mid-stream barriers.
+    Theorem 4.2/6.1 makes the comparison exact: members and every
+    cumulative logical meter must be bit-identical to the
+    static-membership run, with all transition costs confined to the
+    ``rebalance_*`` family.
+    """
+    import shutil
+    import tempfile
+
+    from repro.core.maintainer import MISMaintainer
+    from repro.graph.datasets import load_dataset
+    from repro.serve import (
+        AdaptiveWindowController,
+        IngestionService,
+        TraceConfig,
+        WindowConfig,
+        audit_log,
+        bursty_trace,
+    )
+
+    result = ServeChaosResult(tag=tag, seed=seed, num_ops=num_ops)
+    ops, timestamps = bursty_trace(
+        load_dataset(tag),
+        TraceConfig(num_ops=num_ops, seed=seed),
+    )
+
+    def make_controller():
+        return AdaptiveWindowController(
+            WindowConfig(min_window=4, max_window=64, initial_window=8)
+        )
+
+    def make_maintainer(faults):
+        return MISMaintainer(
+            load_dataset(tag),
+            num_workers=10,
+            strategy=ActivationStrategy.SAME_STATUS,
+            runtime=runtime_factory() if runtime_factory else None,
+            representation=representation,
+            faults=faults,
+        )
+
+    root = wal_root or tempfile.mkdtemp(prefix="serve-drain-")
+    try:
+        runs = {}
+        for label, faults in (
+            ("static", None),
+            ("elastic", FaultInjector(plan_for(preset, seed))),
+        ):
+            service = IngestionService(
+                make_maintainer(faults), f"{root}/{label}",
+                controller=make_controller(), checkpoint_every=3,
+            )
+            for op, ts in zip(ops, timestamps):
+                service.submit(op, ts)
+            service.close()
+            runs[label] = service
+        static, elastic = runs["static"], runs["elastic"]
+
+        if sorted(elastic.maintainer.independent_set()) != \
+                sorted(static.maintainer.independent_set()):
+            result.failures.append(
+                "members diverged between elastic and static membership"
+            )
+        static_totals = static.logical_totals()
+        elastic_totals = elastic.logical_totals()
+        for name in LOGICAL_METERS:
+            if elastic_totals[name] != static_totals[name]:
+                result.failures.append(
+                    f"cumulative meter {name} drifted: elastic="
+                    f"{elastic_totals[name]} static={static_totals[name]}"
+                )
+        metrics = elastic.maintainer.update_metrics
+        rebalance = metrics.rebalance_summary()
+        if not rebalance["rebalance_drains"]:
+            result.failures.append(
+                f"preset {preset!r} applied no drain mid-stream"
+            )
+        if not rebalance["rebalance_moved_vertices"]:
+            result.failures.append(
+                "drain applied but no movement charged to rebalance meters"
+            )
+        failover = elastic.maintainer.failover
+        if failover is not None and failover.epoch < 1:
+            result.failures.append("membership epoch never advanced")
+        for label in ("static", "elastic"):
+            problems, _summary = audit_log(f"{root}/{label}")
+            result.failures.extend(
+                f"{label} log audit: {p}" for p in problems
+            )
     finally:
         if wal_root is None:
             shutil.rmtree(root, ignore_errors=True)

@@ -41,12 +41,14 @@ class FaultStats:
     stragglers: int = 0
     losses: int = 0
     corruptions: int = 0
+    drains: int = 0
+    joins: int = 0
 
     @property
     def total(self) -> int:
         return (self.crashes + self.drops + self.duplicates
                 + self.reorders + self.stragglers + self.losses
-                + self.corruptions)
+                + self.corruptions + self.drains + self.joins)
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -57,6 +59,8 @@ class FaultStats:
             "stragglers": self.stragglers,
             "losses": self.losses,
             "corruptions": self.corruptions,
+            "drains": self.drains,
+            "joins": self.joins,
         }
 
 
@@ -89,6 +93,10 @@ class FaultInjector:
         #: workers permanently lost so far (losses outlive replays AND runs:
         #: a dead worker stays dead for the rest of the update stream)
         self._dead: Set[int] = set()
+        #: workers voluntarily drained so far — like ``_dead``, a drained
+        #: worker is never drawn for crash/straggler/loss faults (it has no
+        #: sweep to slow down and no partition left to lose)
+        self._drained: Set[int] = set()
         #: a loss never reduces the cluster below this many survivors (the
         #: last worker standing is unkillable — there would be nobody left
         #: to reconstruct onto)
@@ -125,14 +133,53 @@ class FaultInjector:
         """Workers permanently lost so far (a copy)."""
         return set(self._dead)
 
+    @property
+    def drained_workers(self) -> Set[int]:
+        """Workers voluntarily drained so far (a copy)."""
+        return set(self._drained)
+
+    def mark_drained(self, worker: int) -> None:
+        """Record a voluntary drain: ``worker`` is excluded from every
+        subsequent crash/straggler/loss draw, exactly like ``_dead``."""
+        self._drained.add(worker)
+
+    def mark_joined(self, worker: int) -> None:
+        """Record a voluntary join: a previously drained worker becomes
+        drawable again (a fresh worker id is a no-op)."""
+        self._drained.discard(worker)
+
+    def membership_transitions(
+        self, superstep: int
+    ) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+        """``(drains, joins)`` scheduled at this superstep's barrier.
+
+        Each transition fires once per ``(run, superstep, worker)``
+        coordinate — a crash rollback replaying the barrier never applies
+        the same transition twice.  A scheduled drain of an already-dead or
+        already-drained worker is a no-op; so is a join of a current member.
+        """
+        drains = tuple(
+            w for w in self.plan.drained_at(self._run, superstep)
+            if w not in self._dead and w not in self._drained
+            and self._once(("drain", self._run, superstep, w))
+        )
+        joins = tuple(
+            w for w in self.plan.joined_at(self._run, superstep)
+            if w not in self._dead
+            and self._once(("join", self._run, superstep, w))
+        )
+        self.stats.drains += len(drains)
+        self.stats.joins += len(joins)
+        return drains, joins
+
     def crashed_workers(self, superstep: int, workers: Sequence[int]) -> List[int]:
         """Workers crashing at this superstep's barrier (each fires once).
 
-        Dead workers cannot crash — they are gone, not slow.
+        Dead and drained workers cannot crash — they are gone, not slow.
         """
         crashed = [
             w for w in workers
-            if w not in self._dead
+            if w not in self._dead and w not in self._drained
             and self.plan.crash_at(self._run, superstep, w)
             and self._once(("crash", self._run, superstep, w))
         ]
@@ -148,7 +195,10 @@ class FaultInjector:
         the last survivor would leave nobody to reconstruct onto, which no
         real deployment survives either.
         """
-        alive = [w for w in workers if w not in self._dead]
+        alive = [
+            w for w in workers
+            if w not in self._dead and w not in self._drained
+        ]
         lost: List[int] = []
         for w in alive:
             if len(alive) - len(lost) <= self.min_survivors:
@@ -189,9 +239,10 @@ class FaultInjector:
     def straggler_delay(self, superstep: int, worker: int) -> float:
         """Modelled extra seconds worker ``worker`` takes this sweep.
 
-        Dead workers do not straggle (there is no sweep to slow down).
+        Dead and drained workers do not straggle (there is no sweep to
+        slow down).
         """
-        if worker in self._dead:
+        if worker in self._dead or worker in self._drained:
             return 0.0
         delay = self.plan.straggler_delay(self._run, superstep, worker)
         if delay and self._once(("straggle", self._run, superstep, worker)):

@@ -157,6 +157,15 @@ class MembershipView:
         self._last_seen: Dict[int, float] = {w: 0.0 for w in self._workers}
         #: worker -> modelled time of death declaration
         self._dead: Dict[int, float] = {}
+        #: worker -> modelled time of voluntary drain
+        self._drained: Dict[int, float] = {}
+        #: workers that joined after construction -> modelled join time
+        self._joined: Dict[int, float] = {}
+        #: transitions proposed but not yet applied at a barrier
+        self._pending_joins: List[int] = []
+        self._pending_drains: List[int] = []
+        #: membership epoch — bumped once per applied transition batch
+        self._epoch = 0
 
     # ------------------------------------------------------------------
     @property
@@ -168,14 +177,114 @@ class MembershipView:
         """Current modelled time."""
         return self._now
 
+    @property
+    def epoch(self) -> int:
+        """Membership epoch: applied voluntary transition batches so far."""
+        return self._epoch
+
     def alive_workers(self) -> List[int]:
-        return [w for w in self._workers if w not in self._dead]
+        """Current members: alive, not drained (joined workers included)."""
+        return [
+            w for w in self._workers
+            if w not in self._dead and w not in self._drained
+        ]
+
+    def members(self) -> List[int]:
+        """Alias of :meth:`alive_workers` — the current member set."""
+        return self.alive_workers()
 
     def dead_workers(self) -> List[int]:
         return sorted(self._dead)
 
+    def drained_workers(self) -> List[int]:
+        return sorted(self._drained)
+
+    def joined_workers(self) -> List[int]:
+        """Workers that joined after construction and are still members."""
+        return [
+            w for w in sorted(self._joined)
+            if w not in self._dead and w not in self._drained
+        ]
+
     def is_dead(self, worker: int) -> bool:
         return worker in self._dead
+
+    def is_drained(self, worker: int) -> bool:
+        return worker in self._drained
+
+    def is_member(self, worker: int) -> bool:
+        return (worker in self._last_seen and worker not in self._dead
+                and worker not in self._drained)
+
+    # ------------------------------------------------------------------
+    # voluntary transitions (take effect at the next superstep barrier)
+    # ------------------------------------------------------------------
+    def propose_join(self, worker: int) -> None:
+        """Queue a voluntary join; it takes effect at the next barrier.
+
+        A current or already-proposed member cannot join again; a
+        previously drained worker may rejoin.
+        """
+        if self.is_member(worker) or worker in self._pending_joins:
+            raise WorkloadError(
+                f"worker {worker} is already a member (or a pending join)"
+            )
+        self._pending_joins.append(worker)
+
+    def propose_drain(self, worker: int) -> None:
+        """Queue a voluntary drain; it takes effect at the next barrier.
+
+        Only a current member can drain, and the pending batch may never
+        drain the membership below one worker.
+        """
+        if not self.is_member(worker):
+            raise WorkloadError(
+                f"worker {worker} is not a current member — cannot drain"
+            )
+        if worker in self._pending_drains:
+            raise WorkloadError(f"worker {worker} is already draining")
+        remaining = (len(self.alive_workers()) + len(self._pending_joins)
+                     - len(self._pending_drains) - 1)
+        if remaining < 1:
+            raise WorkloadError(
+                "draining the last member would leave nobody to host the "
+                "graph"
+            )
+        self._pending_drains.append(worker)
+
+    def pending_transitions(self) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+        """``(drains, joins)`` queued for the next barrier (a copy)."""
+        return tuple(self._pending_drains), tuple(self._pending_joins)
+
+    def take_pending(self) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+        """Consume and return the queued ``(drains, joins)``."""
+        drains = tuple(self._pending_drains)
+        joins = tuple(self._pending_joins)
+        self._pending_drains.clear()
+        self._pending_joins.clear()
+        return drains, joins
+
+    def apply_join(self, worker: int) -> None:
+        """Make ``worker`` a member now (called at a barrier)."""
+        self._dead.pop(worker, None)
+        self._drained.pop(worker, None)
+        if worker not in self._last_seen:
+            self._workers.append(worker)
+            self._workers.sort()
+        self._last_seen[worker] = self._now
+        self._joined[worker] = self._now
+
+    def apply_drain(self, worker: int) -> None:
+        """Retire ``worker`` now (called at a barrier)."""
+        self._drained[worker] = self._now
+
+    def bump_epoch(self) -> None:
+        self._epoch += 1
+
+    def restore_epoch(self, epoch: int) -> None:
+        """Fast-forward the epoch counter (recovery replays a WAL whose
+        commits recorded transitions; the counter must keep ascending)."""
+        self._epoch = max(self._epoch, int(epoch))
 
     # ------------------------------------------------------------------
     def advance(self) -> None:
@@ -192,15 +301,18 @@ class MembershipView:
         from the fault injector's straggler schedule and is *excluded*
         from suspicion — a known-slow worker is not a silent one.
         """
-        if worker in self._dead:
+        if worker in self._dead or worker in self._drained:
             return
         stale = 0.0 if injected else max(delay_s, 0.0)
         self._last_seen[worker] = self._now - stale
 
     def phi(self, worker: int) -> float:
-        """Suspicion of ``worker`` (``inf`` once declared dead)."""
+        """Suspicion of ``worker`` (``inf`` once declared dead; a drained
+        worker is silent by agreement and never suspect)."""
         if worker in self._dead:
             return float("inf")
+        if worker in self._drained:
+            return 0.0
         elapsed = self._now - self._last_seen.get(worker, 0.0)
         if elapsed <= 0.0:
             return 0.0
@@ -211,7 +323,8 @@ class MembershipView:
         threshold = self._config.phi_threshold
         return [
             w for w in self._workers
-            if w not in self._dead and self.phi(w) >= threshold
+            if w not in self._dead and w not in self._drained
+            and self.phi(w) >= threshold
         ]
 
     def declare_dead(self, worker: int) -> None:
@@ -234,6 +347,21 @@ class AuditFinding:
     #: ``"destroyed"`` (the copy vanished first — edge deletion, vertex
     #: deletion, or the hosting worker died)
     outcome: str
+
+
+@dataclass(frozen=True)
+class TransitionEvent:
+    """One barrier's worth of applied voluntary transitions."""
+
+    superstep: int
+    joined: Tuple[int, ...]
+    drained: Tuple[int, ...]
+    #: host vertices whose effective placement moved
+    moved: int
+    #: membership epoch after the batch applied
+    epoch: int
+    #: modelled barrier stall while the batch applied
+    stall_s: float
 
 
 @dataclass(frozen=True)
@@ -422,11 +550,14 @@ class FailoverCoordinator:
         self.view = MembershipView(range(dgraph.num_workers), self._config)
         self.auditor = GuestAuditor(self._config)
         self._alive: Tuple[int, ...] = tuple(self.view.alive_workers())
+        self._member_set = frozenset(self._alive)
+        self._joined_active = frozenset(self.view.joined_workers())
         #: bounded per-superstep delta-log frames (newest last) + the
         #: compacted base older frames fold into
         self._frames: Deque[Dict[int, Any]] = deque()
         self._ledger_base: Dict[int, Any] = {}
         self.events: List[FailoverEvent] = []
+        self.transitions: List[TransitionEvent] = []
 
     # ------------------------------------------------------------------
     @property
@@ -441,13 +572,38 @@ class FailoverCoordinator:
     def alive_workers(self) -> List[int]:
         return list(self._alive)
 
+    @property
+    def epoch(self) -> int:
+        """Membership epoch (applied voluntary transition batches)."""
+        return self.view.epoch
+
     def is_dead(self, worker: int) -> bool:
         return self.view.is_dead(worker)
 
+    def _refresh_members(self) -> None:
+        self._alive = tuple(self.view.alive_workers())
+        self._member_set = frozenset(self._alive)
+        self._joined_active = frozenset(self.view.joined_workers())
+
     def worker_of(self, u: int) -> int:
-        """Effective worker of ``u`` under the failover overlay."""
+        """Effective worker of ``u`` under the failover + elastic overlay.
+
+        Pure function of (base placement, member set, joined set):
+
+        1. if any joined worker's rendezvous weight over the *whole* member
+           set claims ``u``, it lives there (a join moves exactly the
+           vertices whose member-set argmax is the joiner — HRW-minimal);
+        2. otherwise ``u`` stays with its base worker while that worker is
+           a member (alive, not drained);
+        3. otherwise (base dead or drained) ``u`` is rendezvous-hashed over
+           the members — the PR 4 failover rule, now drain-aware.
+        """
+        if self._joined_active:
+            w = rendezvous_worker(u, self._alive, salt=self._config.salt)
+            if w in self._joined_active:
+                return w
         base = self._dgraph.worker_of(u)
-        if not self.view.is_dead(base):
+        if base in self._member_set:
             return base
         return rendezvous_worker(u, self._alive, salt=self._config.salt)
 
@@ -550,7 +706,7 @@ class FailoverCoordinator:
 
         for w in lost:
             self.view.declare_dead(w)
-        self._alive = tuple(self.view.alive_workers())
+        self._refresh_members()
         metrics.recovery_failovers += len(lost)
 
         from repro.scaleg.guest import surviving_guest_machines
@@ -673,7 +829,7 @@ class FailoverCoordinator:
         metrics.wall_time_s += latency
         for w in lost:
             self.view.declare_dead(w)
-        self._alive = tuple(self.view.alive_workers())
+        self._refresh_members()
         metrics.recovery_failovers += len(lost)
 
         lost_hosts = [u for u in sorted(states) if old_eff[u] in lost_set]
@@ -708,6 +864,133 @@ class FailoverCoordinator:
         return reactivate
 
     # ------------------------------------------------------------------
+    # voluntary elasticity (planned transitions applied at a barrier)
+    # ------------------------------------------------------------------
+    def propose_join(self, worker: int) -> None:
+        """Queue a voluntary join for the next barrier."""
+        self.view.propose_join(worker)
+
+    def propose_drain(self, worker: int) -> None:
+        """Queue a voluntary drain for the next barrier."""
+        self.view.propose_drain(worker)
+
+    def apply_transitions(
+        self, drains: Iterable[int], joins: Iterable[int], superstep: int,
+        states: Dict[int, Any], metrics, sync_bytes_of,
+    ) -> Tuple[Tuple[int, ...], Tuple[int, ...], List[int]]:
+        """Apply one barrier's voluntary transition batch.
+
+        Joins apply first (a simultaneous join+drain streams the drained
+        partitions straight to the joiner), then drains; the membership
+        epoch bumps once per batch.  Every moved host vertex is streamed
+        from its *live* old host — state record, guest-copy
+        re-establishment for its remote neighbours, and a rank-cache
+        rebuild on the receiver — all charged to the ``rebalance_*``
+        family.  The logical meters (and the
+        :class:`~repro.graph.distributed_graph.DistributedGraph` base
+        placement) never change, which is what keeps an elastic run
+        bit-identical to a fixed-membership one.
+
+        Returns ``(applied_drains, applied_joins, moved_vertices)``.
+        """
+        joins = [w for w in sorted(set(joins)) if not self.view.is_member(w)]
+        drains = [
+            w for w in sorted(set(drains))
+            if self.view.is_member(w) and w not in joins
+        ]
+        if not joins and not drains:
+            return (), (), []
+        if not (set(self._member_set) | set(joins)) - set(drains):
+            raise WorkerFailure(
+                drains[0], superstep,
+                "draining every member would leave nobody to host the graph",
+            )
+
+        dgraph = self._dgraph
+        # effective placement *before* the batch — the movement set is the
+        # diff against it
+        old_eff: Dict[int, int] = {u: self.worker_of(u) for u in sorted(states)}
+        for w in joins:
+            self.view.apply_join(w)
+        for w in drains:
+            self.view.apply_drain(w)
+        self.view.bump_epoch()
+        self._refresh_members()
+
+        moved = [u for u in sorted(states) if self.worker_of(u) != old_eff[u]]
+        for u in moved:
+            # the new home streams u's state from its live old host —
+            # never from a checkpoint
+            state = states.get(u)
+            metrics.rebalance_resync_bytes += (
+                MESSAGE_OVERHEAD_BYTES + VERTEX_ID_BYTES
+                + (sync_bytes_of(state) if state is not None else 8)
+            )
+            metrics.rebalance_resync_messages += 1
+            if not dgraph.has_vertex(u):
+                continue
+            new_home = self.worker_of(u)
+            degree = 0
+            for v in sorted(dgraph.neighbors(u)):
+                degree += 1
+                if self.worker_of(v) == new_home:
+                    continue
+                # guest copies move with the host: the new home takes a
+                # copy of each remote neighbour (and ships back its own)
+                vstate = states.get(v)
+                metrics.rebalance_resync_bytes += (
+                    MESSAGE_OVERHEAD_BYTES + VERTEX_ID_BYTES
+                    + (sync_bytes_of(vstate) if vstate is not None else 8)
+                )
+                metrics.rebalance_resync_messages += 1
+            # the receiver rebuilds u's rank-ordered adjacency entries
+            metrics.rebalance_rank_entries += degree
+        metrics.rebalance_joins += len(joins)
+        metrics.rebalance_drains += len(drains)
+        metrics.rebalance_moved_vertices += len(moved)
+        # the barrier stalls one heartbeat period while the batch applies
+        stall = self._config.heartbeat_interval_s
+        metrics.rebalance_stall_s += stall
+        metrics.wall_time_s += stall
+        self.transitions.append(TransitionEvent(
+            superstep=superstep, joined=tuple(joins), drained=tuple(drains),
+            moved=len(moved), epoch=self.view.epoch, stall_s=stall,
+        ))
+        return tuple(drains), tuple(joins), moved
+
+    def barrier_transitions(
+        self, superstep: int, states: Dict[int, Any], metrics,
+        sync_bytes_of, injector=None,
+    ) -> List[int]:
+        """Collect and apply every transition due at this barrier.
+
+        Merges the proposed queue (:meth:`propose_join` /
+        :meth:`propose_drain`) with the injector's scheduled transitions
+        (fire-once — a crash rollback replaying this barrier never applies
+        a batch twice), applies them, and tells the injector which workers
+        drained so they are never again drawn for faults.  Returns the
+        moved vertices.
+        """
+        drains, joins = self.view.take_pending()
+        if injector is not None:
+            sched_drains, sched_joins = injector.membership_transitions(
+                superstep
+            )
+            drains += sched_drains
+            joins += sched_joins
+        if not drains and not joins:
+            return []
+        applied_drains, applied_joins, moved = self.apply_transitions(
+            drains, joins, superstep, states, metrics, sync_bytes_of
+        )
+        if injector is not None:
+            for w in applied_drains:
+                injector.mark_drained(w)
+            for w in applied_joins:
+                injector.mark_joined(w)
+        return moved
+
+    # ------------------------------------------------------------------
     # anti-entropy pass-throughs
     # ------------------------------------------------------------------
     def mark_corrupted(self, vertex: int, machine: int) -> None:
@@ -738,7 +1021,9 @@ def resolve_membership(membership, injector, dgraph) -> Optional[FailoverCoordin
     """
     if membership is None:
         if injector is not None and (
-            injector.plan.schedules_loss or injector.plan.schedules_corruption
+            injector.plan.schedules_loss
+            or injector.plan.schedules_corruption
+            or injector.plan.schedules_transitions
         ):
             return FailoverCoordinator(dgraph)
         return None

@@ -119,6 +119,36 @@ class LossSpec:
 
 
 @dataclass(frozen=True)
+class DrainSpec:
+    """Worker ``worker`` *voluntarily* drains at the barrier of ``superstep``.
+
+    Unlike :class:`LossSpec` (involuntary: detected by phi-accrual, state
+    reconstructed from replicas), a drain is planned: the worker migrates
+    its host state, guest copies and rank caches to the remaining members
+    *before* leaving, and the cost lands in the ``rebalance_*`` meter
+    family instead of ``recovery_*``.
+    """
+
+    superstep: int
+    worker: int
+    run: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class JoinSpec:
+    """Worker ``worker`` *voluntarily* joins at the barrier of ``superstep``.
+
+    The joiner is streamed its HRW-minimal share of partitions from the
+    live hosts (never from checkpoints); the movement cost lands in the
+    ``rebalance_*`` meter family.
+    """
+
+    superstep: int
+    worker: int
+    run: Optional[int] = None
+
+
+@dataclass(frozen=True)
 class CorruptGuestSpec:
     """The guest copy ``vertex -> machine`` silently diverges from the host
     state after this superstep's sync (a bit flip in the replica, not on the
@@ -166,6 +196,11 @@ class FaultPlan:
     reorders: Tuple[ReorderSpec, ...] = field(default_factory=tuple)
     losses: Tuple[LossSpec, ...] = field(default_factory=tuple)
     corruptions: Tuple[CorruptGuestSpec, ...] = field(default_factory=tuple)
+    #: planned membership transitions (voluntary elasticity) — always
+    #: explicit coordinates, never probabilistic: a rebalance is an
+    #: operator decision, not an accident
+    drains: Tuple[DrainSpec, ...] = field(default_factory=tuple)
+    joins: Tuple[JoinSpec, ...] = field(default_factory=tuple)
 
     def __post_init__(self):
         for name in ("crash_prob", "drop_prob", "duplicate_prob",
@@ -181,7 +216,7 @@ class FaultPlan:
             )
         # normalize sequences to tuples so plans stay hashable/frozen
         for name in ("crashes", "drops", "duplicates", "stragglers",
-                     "reorders", "losses", "corruptions"):
+                     "reorders", "losses", "corruptions", "drains", "joins"):
             value = getattr(self, name)
             if not isinstance(value, tuple):
                 object.__setattr__(self, name, tuple(value))
@@ -197,6 +232,7 @@ class FaultPlan:
             or self.crashes or self.drops or self.duplicates
             or self.stragglers or self.reorders
             or self.losses or self.corruptions
+            or self.drains or self.joins
         )
 
     @property
@@ -210,6 +246,12 @@ class FaultPlan:
         """Whether this plan can corrupt guest copies (the engines
         auto-enable the anti-entropy auditor when so)."""
         return bool(self.corrupt_prob or self.corruptions)
+
+    @property
+    def schedules_transitions(self) -> bool:
+        """Whether this plan schedules voluntary joins/drains (the engines
+        auto-attach a membership subsystem when so)."""
+        return bool(self.drains or self.joins)
 
     # ------------------------------------------------------------------
     # keyed deterministic draws
@@ -290,6 +332,20 @@ class FaultPlan:
         if self.loss_prob:
             return self._draw("loss", run, superstep, worker) < self.loss_prob
         return False
+
+    def drained_at(self, run: int, superstep: int) -> Tuple[int, ...]:
+        """Workers scheduled to voluntarily drain at this barrier."""
+        return tuple(sorted({
+            spec.worker for spec in self.drains
+            if spec.superstep == superstep and _matches(spec.run, run)
+        }))
+
+    def joined_at(self, run: int, superstep: int) -> Tuple[int, ...]:
+        """Workers scheduled to voluntarily join at this barrier."""
+        return tuple(sorted({
+            spec.worker for spec in self.joins
+            if spec.superstep == superstep and _matches(spec.run, run)
+        }))
 
     def corrupt_guest_at(self, run: int, superstep: int, vertex: int,
                          machine: int) -> bool:

@@ -333,6 +333,17 @@ class CSRPartition:
         self.structure_version += 1
         self.repairs += 1
 
+    def mark_membership_change(self) -> None:
+        """Invalidate the published frame after a membership transition.
+
+        A voluntary join/drain changes the effective placement overlay, so
+        any shared-memory frame published before the transition must not be
+        reused: bumping :attr:`structure_version` makes the next
+        :meth:`publish_shared` reship the frame instead of short-circuiting
+        on the cached version.
+        """
+        self.structure_version += 1
+
     def _home_array(self, ids):
         from repro.pregel.partition import (
             _HASH_MASK,

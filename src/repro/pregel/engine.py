@@ -510,6 +510,13 @@ class PregelEngine:
                         inbox_bytes[msg.dest] = inbox_bytes.get(msg.dest, 0) + wire
 
                 metrics.observe(record, keep_record=keep_records)
+                if failover is not None:
+                    # voluntary joins/drains due at this barrier — applied
+                    # after commit, costs quarantined in rebalance_*
+                    failover.barrier_transitions(
+                        superstep, states, metrics, program.state_bytes,
+                        injector,
+                    )
                 self._aggregators.roll()
                 active = sorted(inbox)
                 superstep += 1

@@ -140,6 +140,25 @@ class RunMetrics:
     divergence_repair_bytes: int = 0
     #: records re-shipped by read-repair
     divergence_repair_messages: int = 0
+    # -- rebalance meter family (voluntary elasticity) -------------------
+    # Planned membership transitions (joins/drains) are *chosen*, not
+    # suffered, so their cost is quarantined separately from ``recovery_*``:
+    # comparing the two families is how an operator decides whether a
+    # rebalance was cheaper than riding out the skew.
+    #: workers that voluntarily joined at a barrier
+    rebalance_joins: int = 0
+    #: workers that voluntarily drained at a barrier
+    rebalance_drains: int = 0
+    #: host vertices whose effective placement moved in a transition
+    rebalance_moved_vertices: int = 0
+    #: bytes streamed to re-establish moved hosts + their guest copies
+    rebalance_resync_bytes: int = 0
+    #: sync records streamed during transitions
+    rebalance_resync_messages: int = 0
+    #: rank-cache entries rebuilt on the receiving workers
+    rebalance_rank_entries: int = 0
+    #: modelled wall time the barrier stalled while transitions applied
+    rebalance_stall_s: float = 0.0
     #: modelled peak bytes resident on the most-loaded worker
     peak_worker_memory_bytes: int = 0
     #: modelled total bytes across all workers
@@ -207,6 +226,13 @@ class RunMetrics:
         self.divergence_repaired += other.divergence_repaired
         self.divergence_repair_bytes += other.divergence_repair_bytes
         self.divergence_repair_messages += other.divergence_repair_messages
+        self.rebalance_joins += other.rebalance_joins
+        self.rebalance_drains += other.rebalance_drains
+        self.rebalance_moved_vertices += other.rebalance_moved_vertices
+        self.rebalance_resync_bytes += other.rebalance_resync_bytes
+        self.rebalance_resync_messages += other.rebalance_resync_messages
+        self.rebalance_rank_entries += other.rebalance_rank_entries
+        self.rebalance_stall_s += other.rebalance_stall_s
         self.peak_worker_memory_bytes = max(
             self.peak_worker_memory_bytes, other.peak_worker_memory_bytes
         )
@@ -214,8 +240,8 @@ class RunMetrics:
         self.records.extend(other.records)
 
     #: meter names :meth:`merge_delta` accepts as additive increments —
-    #: the logical family plus the quarantined ``recovery_*`` and
-    #: ``divergence_*`` families
+    #: the logical family plus the quarantined ``recovery_*``,
+    #: ``divergence_*`` and ``rebalance_*`` families
     _ADDITIVE_METERS = frozenset({
         "supersteps", "active_vertices", "compute_work", "messages",
         "remote_messages", "bytes_sent", "state_changes", "wall_time_s",
@@ -230,6 +256,9 @@ class RunMetrics:
         "divergence_checks", "divergence_check_bytes",
         "divergence_detected", "divergence_repaired",
         "divergence_repair_bytes", "divergence_repair_messages",
+        "rebalance_joins", "rebalance_drains", "rebalance_moved_vertices",
+        "rebalance_resync_bytes", "rebalance_resync_messages",
+        "rebalance_rank_entries", "rebalance_stall_s",
     })
     #: meters :meth:`merge_delta` folds with ``max`` (snapshots, not sums)
     _PEAK_METERS = frozenset({
@@ -351,6 +380,19 @@ class RunMetrics:
             "divergence_repair_messages": self.divergence_repair_messages,
         }
 
+    def rebalance_summary(self) -> Dict[str, float]:
+        """The ``rebalance_*`` meter family (voluntary elasticity) as a
+        plain dict."""
+        return {
+            "rebalance_joins": self.rebalance_joins,
+            "rebalance_drains": self.rebalance_drains,
+            "rebalance_moved_vertices": self.rebalance_moved_vertices,
+            "rebalance_resync_bytes": self.rebalance_resync_bytes,
+            "rebalance_resync_messages": self.rebalance_resync_messages,
+            "rebalance_rank_entries": self.rebalance_rank_entries,
+            "rebalance_stall_s": round(self.rebalance_stall_s, 6),
+        }
+
     def summary(self) -> Dict[str, float]:
         """Plain-dict summary used by the benchmark reporters."""
         summary = {
@@ -366,6 +408,7 @@ class RunMetrics:
         }
         summary.update(self.recovery_summary())
         summary.update(self.divergence_summary())
+        summary.update(self.rebalance_summary())
         return summary
 
     def to_json(self, include_records: bool = False) -> str:

@@ -17,15 +17,25 @@ from repro.runtime.base import (
     predraw_barrier_faults,
     resolve_runtime,
 )
+from repro.runtime.elastic import (
+    AutoscalePolicy,
+    LoadBalancer,
+    Recommendation,
+    resolve_autoscale,
+)
 from repro.runtime.parallel import ParallelRuntime
 
 __all__ = [
+    "AutoscalePolicy",
     "BarrierDraws",
     "ExecutionBackend",
     "InlineExecutor",
+    "LoadBalancer",
     "ParallelRuntime",
     "PregelSweep",
+    "Recommendation",
     "ScaleGSweep",
     "predraw_barrier_faults",
+    "resolve_autoscale",
     "resolve_runtime",
 ]

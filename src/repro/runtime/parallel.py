@@ -263,6 +263,21 @@ def _worker_main(conn) -> None:
                 host = _WorkerHost(graph, states)
                 program = None
                 reply = ("ok", None)
+            elif kind == "prologue":
+                # out-of-band replica delta (elastic pool resize flushes
+                # pending mutations without dispatching a sweep)
+                ops, upserts, removals, new_program = msg[1]
+                if ops:
+                    _apply_graph_ops(graph, ops)
+                for u in removals:
+                    states.pop(u, None)
+                states.update(upserts)
+                if new_program is not None:
+                    program = new_program
+                    rank_cache = getattr(program, "rank_cache", None)
+                    if rank_cache is not None:
+                        host._ranked = rank_cache(graph)
+                reply = ("ok", None)
             elif kind == "csr_sweep":
                 _, superstep, meta, active_idx, cfg = msg
                 from repro.graph import csr as _csr
@@ -444,6 +459,99 @@ class ParallelRuntime(ExecutionBackend):
     def prestart(self, num_partitions: Optional[int] = None) -> None:
         """Spawn the worker pool now (benchmarks exclude spawn latency)."""
         self._ensure_workers(num_partitions)
+
+    # -- elastic pool resize ---------------------------------------------
+    def add_worker(self) -> int:
+        """Grow the pool by one worker process; returns the new size.
+
+        On a running full pool the pending mutation-opcode prologue is
+        flushed to the incumbents first (so the newcomer's snapshot is not
+        double-applied by the next dispatch), then the newcomer is spawned
+        and streamed the live replica — the master's graph copy plus the
+        state mirror — and the current program, exactly the state a sweep
+        expects.  Light (array-sweep) pools carry no replica; the newcomer
+        only needs the shared CSR frame meta, which the forced rebroadcast
+        reships with the next sweep.  Partition ownership is computed per
+        dispatch as ``partition % pool_size``, so the next barrier
+        rebalances automatically and stays bit-identical (the reduce is
+        sorted by vertex id either way).
+        """
+        if not self._workers or self._needs_init or self._init_kind is None:
+            # pool not live yet: just grow the target; spawn-time init
+            # covers the newcomer with everyone else
+            self.procs = max(self.procs + 1, len(self._workers) + 1)
+            self._needs_init = True
+            return self.procs
+        prologue = self._take_prologue()
+        program = self._shipped_program
+        if prologue is not None:
+            if prologue[3] is not None:
+                program = prologue[3]
+            for p, conn in enumerate(self._conns):
+                self._send(p, conn, ("prologue", prologue))
+            for p in range(len(self._conns)):
+                self._recv_ok(p)
+        index = len(self._workers)
+        parent, child = self._mp.Pipe()
+        proc = self._mp.Process(
+            target=_worker_main,
+            args=(child,),
+            name=f"repro-runtime-{index}",
+            daemon=True,
+        )
+        proc.start()
+        child.close()
+        self._conns.append(parent)
+        self._workers.append(proc)
+        if self._init_kind == "full":
+            self._send(index, parent,
+                       ("init", self._graph.copy(), dict(self._mirror)))
+            self._recv_ok(index)
+            if program is not None:
+                self._send(index, parent, ("prologue", ([], {}, [], program)))
+                self._recv_ok(index)
+        else:
+            self._send(index, parent, ("init", None, {}))
+            self._recv_ok(index)
+        # force the frame meta down every pipe on the next csr sweep (the
+        # newcomer has never mapped the segment)
+        self._csr_shipped = None
+        self.procs = len(self._workers)
+        return self.procs
+
+    def drain_worker(self) -> int:
+        """Retire the highest-indexed worker process; returns the new size.
+
+        The remaining workers already hold full replicas, so nothing needs
+        to migrate across the pipes — ownership recomputes as
+        ``partition % pool_size`` at the next dispatch.  Draining the last
+        process is refused.
+        """
+        if not self._workers:
+            if self.procs <= 1:
+                raise ParallelRuntimeError(
+                    "cannot drain below one worker process"
+                )
+            self.procs -= 1
+            return self.procs
+        if len(self._workers) <= 1:
+            raise ParallelRuntimeError("cannot drain below one worker process")
+        conn = self._conns.pop()
+        proc = self._workers.pop()
+        try:
+            _send_msg(conn, ("close",))
+        except (BrokenPipeError, OSError):
+            pass
+        proc.join(timeout=5)
+        if proc.is_alive():
+            proc.terminate()
+            proc.join(timeout=5)
+        try:
+            conn.close()
+        except OSError:
+            pass
+        self.procs = len(self._workers)
+        return self.procs
 
     def close(self) -> None:
         """Stop the worker processes; the runtime stays reusable (the next

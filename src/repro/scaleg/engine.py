@@ -626,6 +626,11 @@ class ScaleGEngine:
                         record, dgraph,
                     )
                     own_metrics.observe(record, keep_record=keep_records)
+                    if failover is not None:
+                        self._apply_membership_transitions(
+                            failover, injector, superstep, states,
+                            own_metrics, program.sync_bytes,
+                        )
                     active = sorted(next_active)
                     superstep += 1
                     ran_supersteps += 1
@@ -719,6 +724,11 @@ class ScaleGEngine:
                     )
                     failover.audit(states, sync_bytes, own_metrics)
                 own_metrics.observe(record, keep_record=keep_records)
+                if failover is not None:
+                    self._apply_membership_transitions(
+                        failover, injector, superstep, states,
+                        own_metrics, program.sync_bytes,
+                    )
                 active = sorted(next_active)
                 superstep += 1
                 ran_supersteps += 1
@@ -741,6 +751,26 @@ class ScaleGEngine:
         own_metrics.observe_memory(per_worker)
         own_metrics.wall_time_s += time.perf_counter() - started
         return ScaleGResult(states=states, metrics=own_metrics)
+
+    # ------------------------------------------------------------------
+    def _apply_membership_transitions(
+        self, failover, injector, superstep: int, states: Dict[int, Any],
+        metrics: RunMetrics, sync_bytes,
+    ) -> None:
+        """Apply voluntary joins/drains due at this barrier's end.
+
+        Runs *after* commit, so a crash raised earlier this superstep has
+        already rolled back before any transition consumes (and the
+        injector's fire-once keys make a replayed barrier safe anyway).
+        A transition invalidates the published CSR frame: the partition's
+        structure version bumps so the next sweep reships it.
+        """
+        applied_before = len(failover.transitions)
+        failover.barrier_transitions(
+            superstep, states, metrics, sync_bytes, injector
+        )
+        if len(failover.transitions) > applied_before and self._csr is not None:
+            self._csr.mark_membership_change()
 
     # ------------------------------------------------------------------
     def _recovery_sweep(self, program: ScaleGProgram, targets: List[int],

@@ -58,6 +58,13 @@ from repro.errors import (
     WorkloadError,
 )
 from repro.graph.updates import EdgeDeletion, EdgeInsertion, EdgeUpdate
+from repro.runtime.elastic import (
+    SCALE_DOWN,
+    SCALE_UP,
+    AutoscalePolicy,
+    LoadBalancer,
+    resolve_autoscale,
+)
 from repro.serve.admission import AdmissionConfig, AdmissionController
 from repro.serve.controller import AdaptiveWindowController
 from repro.serve.wal import WriteAheadLog
@@ -120,6 +127,8 @@ class ServeStats:
     replayed_windows: int = 0
     replayed_events: int = 0
     truncated_bytes: int = 0
+    scale_ups: int = 0
+    scale_downs: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return dict(self.__dict__)
@@ -189,6 +198,9 @@ class IngestionService:
         segment_bytes: int = 1 << 20,
         checkpoint_every: int = 8,
         close_maintainer: bool = True,
+        autoscale=None,
+        target_utilization: Optional[float] = None,
+        balancer: Optional[LoadBalancer] = None,
         _recovered: Optional[_RecoveredState] = None,
     ):
         if checkpoint_every < 0:
@@ -219,6 +231,17 @@ class IngestionService:
         self._next_retry_at = 0.0
         self._dead_letter = None
         self._closed = False
+        # elastic serve loop: the policy is consulted after every committed
+        # window and grows/shrinks the maintainer's *physical* process pool
+        # (logical partitioning is untouched, so results stay bit-identical
+        # at any pool size)
+        self.autoscale: Optional[AutoscalePolicy] = resolve_autoscale(
+            autoscale, target_utilization
+        )
+        self.balancer = balancer if balancer is not None else LoadBalancer()
+        self._records_seen = 0
+        self._consulted_work = 0
+        self._consulted_active = 0
         if _recovered is None:
             self.wal = WriteAheadLog(
                 wal_dir, segment_bytes=segment_bytes, fsync=fsync
@@ -399,6 +422,7 @@ class IngestionService:
             "n": report.operations,
             "tot": dict(self.totals),
             "ctl": self.controller.snapshot(),
+            "ep": self._membership_epoch(),
         })
         self._applied_watermark = last
         self._window_seqs = []
@@ -406,6 +430,69 @@ class IngestionService:
         if (self.checkpoint_every
                 and self.windows_committed % self.checkpoint_every == 0):
             self.checkpoint()
+        self._consult_autoscale()
+
+    # ------------------------------------------------------------------
+    # elastic membership + autoscaling
+    # ------------------------------------------------------------------
+    def _membership_epoch(self) -> List[int]:
+        """``[cluster_size, membership_epoch]`` for WAL commit records.
+
+        Recovery refuses to replay commits made under a different cluster
+        shape (a mixed or foreign log directory) with a clear
+        :class:`~repro.errors.RecoveryError` instead of the index errors a
+        wrong partitioning would eventually produce.
+        """
+        failover = getattr(self.maintainer, "failover", None)
+        epoch = failover.epoch if failover is not None else 0
+        return [int(self.maintainer.num_workers), int(epoch)]
+
+    def _pool_size(self) -> int:
+        """Physical worker-process count (1 for the inline backend)."""
+        runtime = getattr(self.maintainer, "runtime", None)
+        return int(getattr(runtime, "procs", 1) or 1)
+
+    def _consult_autoscale(self) -> None:
+        """Fold the committed window into the balancer and apply the
+        policy's decision to the maintainer's process pool."""
+        if self.autoscale is None:
+            return
+        metrics = self.maintainer.update_metrics
+        records = metrics.records
+        observation = None
+        if len(records) > self._records_seen:
+            # per-worker vectors are available (keep_records on): sum the
+            # window's barriers so the balancer sees real skew
+            totals: List[int] = []
+            active = 0
+            for record in records[self._records_seen:]:
+                for w, units in enumerate(record.worker_work):
+                    if w >= len(totals):
+                        totals.extend([0] * (w + 1 - len(totals)))
+                    totals[w] += units
+                active += record.active_vertices
+            self._records_seen = len(records)
+            if any(totals):
+                observation = (totals, active)
+        if observation is None:
+            # meters only: one aggregate observation per window
+            delta_work = self.totals["compute_work"] - self._consulted_work
+            delta_active = (
+                self.totals["active_vertices"] - self._consulted_active
+            )
+            observation = ([max(delta_work, 0)], max(delta_active, 0))
+        self._consulted_work = self.totals["compute_work"]
+        self._consulted_active = self.totals["active_vertices"]
+        self.balancer.observe(*observation)
+        decision = self.autoscale.decide(self.balancer, self._pool_size())
+        runtime = getattr(self.maintainer, "runtime", None)
+        if decision.action == SCALE_UP and hasattr(runtime, "add_worker"):
+            runtime.add_worker()
+            self.stats.scale_ups += 1
+        elif decision.action == SCALE_DOWN \
+                and hasattr(runtime, "drain_worker"):
+            runtime.drain_worker()
+            self.stats.scale_downs += 1
 
     # ------------------------------------------------------------------
     # poison handling: bisect + quarantine
@@ -566,6 +653,19 @@ class IngestionService:
         summary["controller"] = self.controller.as_dict()
         summary["session"] = self.session.totals()
         summary["logical_totals"] = self.logical_totals()
+        if self.autoscale is not None:
+            last = (self.autoscale.decisions[-1]
+                    if self.autoscale.decisions else None)
+            summary["autoscale"] = {
+                "pool_size": self._pool_size(),
+                "decisions": len(self.autoscale.decisions),
+                "last_action": last.action if last is not None else None,
+                "last_reason": last.reason if last is not None else None,
+                "utilization": round(
+                    last.utilization if last is not None else 0.0, 4
+                ),
+                "skew": round(self.balancer.skew(), 4),
+            }
         return summary
 
     # ------------------------------------------------------------------
@@ -583,6 +683,8 @@ class IngestionService:
         segment_bytes: int = 1 << 20,
         checkpoint_every: int = 8,
         close_maintainer: bool = True,
+        autoscale=None,
+        target_utilization: Optional[float] = None,
     ) -> "IngestionService":
         """Rebuild a crashed service from its log directory.
 
@@ -643,6 +745,29 @@ class IngestionService:
             raise WALError(
                 wal_dir, "no loadable maintainer checkpoint found"
             )
+        # membership epoch guard (satellite of the elastic-membership work):
+        # every commit records [cluster_size, epoch]; replaying a log whose
+        # commits were made under a different cluster shape than the
+        # checkpoint restores would misattribute every host/guest directory,
+        # so fail loudly and early instead
+        recorded_shape: Optional[Tuple[int, int]] = None
+        for commit in commits:
+            ep = commit.get("ep")
+            if ep is not None:
+                recorded_shape = (int(ep[0]), int(ep[1]))
+        if recorded_shape is not None \
+                and recorded_shape[0] != maintainer.num_workers:
+            raise RecoveryError(
+                f"{wal_dir}: membership mismatch: log commits were made "
+                f"at num_workers={recorded_shape[0]} (membership epoch "
+                f"{recorded_shape[1]}), but the recovered checkpoint has "
+                f"num_workers={maintainer.num_workers} — recover with the "
+                f"original cluster shape or start a fresh log"
+            )
+        if recorded_shape is not None and recorded_shape[1] > 0:
+            failover = getattr(maintainer, "failover", None)
+            if failover is not None:
+                failover.view.restore_epoch(recorded_shape[1])
         watermark = int(base["q"])
         totals = {k: int(v) for k, v in base["tot"].items()}
         windows_committed = int(base["w"])
@@ -705,6 +830,8 @@ class IngestionService:
             segment_bytes=segment_bytes,
             checkpoint_every=checkpoint_every,
             close_maintainer=close_maintainer,
+            autoscale=autoscale,
+            target_utilization=target_utilization,
             _recovered=recovered,
         )
         service._replay(recovered)
@@ -753,6 +880,11 @@ class IngestionService:
             max((b[-1][0] for b, _ in recovered.replay_batches if b),
                 default=self._applied_watermark),
         )
+        # autoscale deltas start from the recovered totals, and replayed
+        # superstep records never re-trigger scale decisions
+        self._consulted_work = self.totals["compute_work"]
+        self._consulted_active = self.totals["active_vertices"]
+        self._records_seen = len(self.maintainer.update_metrics.records)
         for seq, op, ts in recovered.tail:
             self._queue.append((seq, op, ts))
         self._pump()

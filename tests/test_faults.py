@@ -413,7 +413,8 @@ class TestChaosHarness:
         assert set(PLAN_PRESETS) == {
             "none", "crash", "drop", "duplicate", "straggler", "reorder",
             "composed", "worker-loss", "cascading-loss", "loss-under-stream",
-            "corrupt-guest",
+            "corrupt-guest", "drain-under-stream", "elastic",
+            "drain-crash-race",
         }
 
     def test_unknown_preset_rejected(self):
