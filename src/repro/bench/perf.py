@@ -407,6 +407,132 @@ def _serve_bursty(
     return entry
 
 
+def _serve_read_mix(
+    tag: str,
+    num_ops: int,
+    seed: int,
+    read_mix: float = 0.99,
+    read_batch: int = 32,
+    max_window: int = 64,
+) -> Dict[str, Any]:
+    """Mixed read/write serving through the epoch snapshot read path.
+
+    Replays a seeded bursty trace through the ingestion service with
+    ``serve_reads=True`` and interleaves a seeded query stream at
+    ``read_mix`` (0.99 → 99 reads per accepted write: a read-heavy serving
+    tier over a trickle of updates).  Reads are answered against the last
+    committed epoch, never blocking ingestion.  The read *counters* —
+    queries by kind, vertices answered, epochs published, the
+    epoch-staleness distribution (admitted-but-invisible events per read)
+    — are pure functions of the seed and land in the pinned logical
+    section; read latency percentiles and reads/s are wall-clock trend
+    data under ``perf.reads``.
+    """
+    import random
+    import shutil
+    import tempfile
+    from time import perf_counter
+
+    from repro.core.maintainer import MISMaintainer
+    from repro.serve import (
+        AdaptiveWindowController,
+        AdmissionConfig,
+        IngestionService,
+        RetryPolicy,
+        TraceConfig,
+        WindowConfig,
+        audit_log,
+        bursty_trace,
+    )
+    from repro.util import percentile
+
+    ops, timestamps = bursty_trace(
+        load_dataset(tag), TraceConfig(num_ops=num_ops, seed=seed)
+    )
+    maintainer = MISMaintainer(
+        load_dataset(tag), num_workers=10,
+        strategy=ActivationStrategy.SAME_STATUS,
+    )
+    wal_dir = tempfile.mkdtemp(prefix="serve-bench-")
+    rng = random.Random(seed + 0x5EED)
+    ratio = read_mix / (1.0 - read_mix)
+    acc = 0.0
+    stale_samples: List[int] = []
+    try:
+        service = IngestionService(
+            maintainer, wal_dir,
+            controller=AdaptiveWindowController(WindowConfig(
+                min_window=4, max_window=max_window, initial_window=8,
+            )),
+            admission=AdmissionConfig(policy="block"),
+            retry=RetryPolicy(max_retries=1, backoff_base_s=0.2),
+            checkpoint_every=0,
+            serve_reads=True,
+        )
+        start = perf_counter()
+        for op, ts in zip(ops, timestamps):
+            service.submit(op, ts)
+            acc += ratio
+            while acc >= 1.0:
+                acc -= 1.0
+                ids = service.reads.latest().ids
+                if not ids.size:
+                    break
+                stale_samples.append(service.reads.staleness())
+                draw = rng.random()
+                if draw < 0.10:
+                    service.query_why_not(
+                        int(ids[rng.randrange(ids.size)])
+                    )
+                elif draw < 0.20:
+                    service.query_batch([
+                        int(ids[rng.randrange(ids.size)])
+                        for _ in range(read_batch)
+                    ])
+                else:
+                    service.query_point(int(ids[rng.randrange(ids.size)]))
+        service.drain()
+        ingest_wall = perf_counter() - start
+        service.close()
+        problems, audit = audit_log(wal_dir)
+        if problems:
+            raise RuntimeError(
+                f"serve_read_mix_{tag}: WAL audit failed: {problems[:3]}"
+            )
+    finally:
+        shutil.rmtree(wal_dir, ignore_errors=True)
+    entry = _sections(
+        maintainer.independent_set(), maintainer.update_metrics,
+        maintainer.graph,
+    )
+    engine = service.query_engine
+    reads_logical = dict(engine.logical_stats())
+    stale_sorted = sorted(stale_samples)
+    for tag_q, q in (("p50", 0.50), ("p90", 0.90), ("p99", 0.99)):
+        reads_logical[f"staleness_{tag_q}"] = int(
+            percentile(stale_sorted, q)
+        )
+    read_stats = engine.read_stats()
+    reads_logical["final_epoch"] = read_stats["epoch"]
+    reads_logical["final_watermark"] = read_stats["watermark"]
+    entry["params"] = {"kind": "serve_read_mix", "dataset": tag,
+                       "num_ops": num_ops, "seed": seed,
+                       "read_mix": read_mix, "read_batch": read_batch,
+                       "workers": 10}
+    entry["logical"]["reads"] = reads_logical
+    entry["perf"]["reads"] = {
+        # latency/throughput are trend data; the counters above are pinned
+        "reads_per_s": read_stats["reads_per_s"],
+        "latency_p50_ms": read_stats["latency_p50_ms"],
+        "latency_p95_ms": read_stats["latency_p95_ms"],
+        "latency_p99_ms": read_stats["latency_p99_ms"],
+        "updates_per_s": round(audit["applied"] / ingest_wall, 1)
+        if ingest_wall else 0.0,
+        "ingest_wall_s": round(ingest_wall, 3),
+    }
+    return entry
+
+
 def _elastic_transitions(
     tag: str, k: int, seed: int, batch_size: int,
     joins: Tuple[Tuple[int, int], ...] = (),
@@ -582,6 +708,7 @@ SCENARIOS: Dict[str, Callable[[], Dict[str, Any]]] = {
     "serve_poison_SL": lambda: _serve_bursty(
         "SL", 300, 11, poison_prob=0.05, admission_policy="shed",
         high_watermark=24, low_watermark=8, max_window=16, backoff_s=0.5),
+    "serve_read_mix_AM": lambda: _serve_read_mix("AM", 300, 7),
     "elastic_scale_up_TW": lambda: _elastic_transitions(
         "TW", 100, 11, 25, joins=((10, 2), (11, 3))),
     "elastic_drain_SKI": lambda: _elastic_transitions(
@@ -710,6 +837,17 @@ def check_against(
             if got != expected:
                 problems.append(
                     f"{name}: logical field {field} drifted: "
+                    f"expected {expected!r}, got {got!r}"
+                )
+        # scenario-specific logical sub-sections (reads, rebalance,
+        # autoscale, ...) are deterministic too — pin them whole
+        extras = set(base_entry["logical"]) | set(fresh_entry["logical"])
+        for field in sorted(extras - set(LOGICAL_FIELDS)):
+            expected = base_entry["logical"].get(field)
+            got = fresh_entry["logical"].get(field)
+            if got != expected:
+                problems.append(
+                    f"{name}: logical section {field} drifted: "
                     f"expected {expected!r}, got {got!r}"
                 )
         expected_work = base_entry["perf"].get("compute_work")

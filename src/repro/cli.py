@@ -21,7 +21,13 @@ Subcommands
                seeded bursty trace: WAL + admission control + adaptive
                windowing + retry/quarantine, with ``--check`` auditing
                exactly-once accounting and ``--chaos`` running the
-               kill-and-recover bit-identity oracle.
+               kill-and-recover bit-identity oracle.  ``--read-mix R``
+               interleaves a seeded query stream (fraction R of traffic)
+               against the epoch-consistent read path and reports read
+               latency percentiles + staleness.
+``query``      answer point/batch/neighbourhood/why-not MIS queries
+               against a maintainer checkpoint through the epoch snapshot
+               read path (deterministic output — no wall numbers).
 ``rebalance``  script voluntary worker joins/drains at mid-stream barriers
                and assert the elastic-membership oracle: members and
                logical meters bit-identical to the static-membership run,
@@ -407,6 +413,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import random
     import shutil
     import tempfile
     from time import perf_counter
@@ -491,7 +498,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             fsync=args.fsync, checkpoint_every=args.checkpoint_every,
             autoscale=args.autoscale,
             target_utilization=args.target_utilization,
+            serve_reads=args.read_mix > 0,
         )
+        # seeded read interleaving: an accumulator turns the requested
+        # read fraction R into reads-per-write R/(1-R), so e.g. 0.99
+        # issues ~99 queries between consecutive submissions
+        read_rng = random.Random(args.seed + 0x5EED) if args.read_mix else None
+        read_ratio = (args.read_mix / (1.0 - args.read_mix)
+                      if args.read_mix else 0.0)
+        read_acc = 0.0
         start = perf_counter()
         for i, op in enumerate(operations):
             try:
@@ -501,6 +516,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 # trace runner's answer is to drop and move on (the
                 # rejection is already on the admission account)
                 continue
+            if read_rng is not None:
+                read_acc += read_ratio
+                while read_acc >= 1.0:
+                    read_acc -= 1.0
+                    ids = service.reads.latest().ids
+                    if not ids.size:
+                        break
+                    if args.read_batch > 1:
+                        service.query_batch([
+                            int(ids[read_rng.randrange(ids.size)])
+                            for _ in range(args.read_batch)
+                        ])
+                    else:
+                        vertex = int(ids[read_rng.randrange(ids.size)])
+                        if read_rng.random() < 0.1:
+                            service.query_why_not(vertex)
+                        else:
+                            service.query_point(vertex)
         service.drain()
         ingest_wall = perf_counter() - start
         service.close()
@@ -541,6 +574,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                       f"ups={summary['scale_ups']} "
                       f"downs={summary['scale_downs']} "
                       f"u={scale['utilization']} skew={scale['skew']}")
+            if "reads" in summary:
+                reads = summary["reads"]
+                served = reads["reads_served"]
+                reads_per_s = reads["reads_per_s"]
+                print(f"  reads served      {served} "
+                      f"({reads['point_queries']} point, "
+                      f"{reads['batch_queries']} batch, "
+                      f"{reads['why_not_queries']} why-not) "
+                      f"@ {reads_per_s:.1f} reads/s")
+                print(f"  read lat p50      {reads['latency_p50_ms']:.4f} ms")
+                print(f"  read lat p95      {reads['latency_p95_ms']:.4f} ms")
+                print(f"  read lat p99      {reads['latency_p99_ms']:.4f} ms")
+                samples = reads["staleness_samples"] or 1
+                print(f"  staleness         max={reads['staleness_max']} "
+                      f"mean={reads['staleness_sum'] / samples:.2f} "
+                      f"(epochs {reads['epochs_published']})")
+                print(f"  read epoch        {reads['epoch']} "
+                      f"(watermark {reads['watermark']})")
             print(f"  |MIS|             {len(maintainer.independent_set())}")
             print(f"  wal               {wal_dir}"
                   f"{'' if args.wal_dir else ' (temporary)'}")
@@ -553,6 +604,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     f"quarantined={audit['quarantined']} "
                     f"(pending {audit['pending']})"
                 )
+            if args.read_mix:
+                reads = summary.get("reads") or {}
+                if not reads.get("reads_served"):
+                    problems.append(
+                        "read path: no reads served despite --read-mix"
+                    )
+                if reads.get("watermark") != summary["applied_watermark"]:
+                    problems.append(
+                        "read path: final epoch watermark "
+                        f"{reads.get('watermark')} is not the committed "
+                        f"watermark {summary['applied_watermark']} — reads "
+                        "were not served from committed epochs"
+                    )
             if problems:
                 for problem in problems:
                     print(f"AUDIT {problem}", file=sys.stderr)
@@ -565,6 +629,83 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     finally:
         if args.wal_dir is None:
             shutil.rmtree(wal_dir, ignore_errors=True)
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    """Serve ad-hoc queries from a checkpoint via the snapshot read path.
+
+    Output is deterministic (no wall-clock numbers, sorted JSON keys) so
+    CI can diff runs across hash seeds and platforms.
+    """
+    from repro.serve import QueryEngine, SnapshotRegistry
+
+    runtime = _resolve_cli_runtime(args)
+    representation = getattr(args, "representation", None)
+    maintainer = MISMaintainer.load(
+        args.checkpoint, num_workers=args.workers, runtime=runtime,
+        representation=representation,
+    )
+    registry = None
+    try:
+        registry = SnapshotRegistry(maintainer)
+        snapshot = registry.publish(
+            epoch=0, watermark=maintainer.updates_applied
+        )
+        engine = QueryEngine(registry)
+        document = {
+            "checkpoint": args.checkpoint,
+            "epoch": snapshot.epoch,
+            "watermark": snapshot.watermark,
+            "vertices": snapshot.num_vertices,
+            "set_size": snapshot.set_size,
+        }
+        if args.vertex:
+            document["point"] = [engine.point(v) for v in args.vertex]
+        if args.batch:
+            vertices = [int(x) for x in args.batch.split(",") if x.strip()]
+            if not vertices:
+                raise ReproError(f"--batch {args.batch!r} names no vertices")
+            document["batch"] = engine.batch(vertices)
+        if args.neighborhood is not None:
+            document["neighborhood"] = engine.neighborhood(
+                args.neighborhood, hops=args.hops
+            )
+        if args.why_not is not None:
+            document["why_not"] = engine.why_not(args.why_not)
+        if args.format == "json":
+            print(json.dumps(document, indent=2, sort_keys=True))
+        else:
+            print(f"query: checkpoint={args.checkpoint} "
+                  f"epoch={document['epoch']} "
+                  f"watermark={document['watermark']} "
+                  f"|V|={document['vertices']} |M|={document['set_size']}")
+            for answer in document.get("point", ()):
+                verdict = "member" if answer["member"] else "non-member"
+                print(f"  vertex {answer['vertex']:<10} {verdict}")
+            if "batch" in document:
+                batch = document["batch"]
+                hits = sum(batch["members"])
+                print(f"  batch             {hits}/{len(batch['members'])} "
+                      f"member(s) of {batch['vertices']}")
+            if "neighborhood" in document:
+                hood = document["neighborhood"]
+                print(f"  neighborhood      {len(hood['members'])} member(s) "
+                      f"within {hood['hops']} hop(s) of {hood['vertex']}: "
+                      f"{hood['members']}")
+            if "why_not" in document:
+                cert = document["why_not"]
+                if cert["member"]:
+                    detail = "member (no ≺-smaller in-set neighbour)"
+                elif cert["blocker"] is None:
+                    detail = "non-member (no blocker at this epoch)"
+                else:
+                    detail = f"blocked by in-set neighbour {cert['blocker']}"
+                print(f"  why-not {cert['vertex']:<9} {detail}")
+        return 0
+    finally:
+        if registry is not None:
+            registry.close()
+        maintainer.close()
 
 
 def _parse_transition(text: str):
@@ -931,9 +1072,23 @@ def build_parser() -> argparse.ArgumentParser:
         "REPRO_REPRESENTATION)",
     )
     serve.add_argument(
+        "--read-mix", type=float, default=0.0, metavar="R",
+        help="fraction of traffic served as reads, in [0, 1): interleave "
+        "a seeded query stream (R/(1-R) reads per accepted write) against "
+        "the epoch-consistent snapshot read path (default: 0 — read path "
+        "off)",
+    )
+    serve.add_argument(
+        "--read-batch", type=int, default=1, metavar="N",
+        help="vertices per interleaved read: 1 issues point/why-not "
+        "queries, N>1 issues vectorized batch lookups of N vertices "
+        "(default: 1)",
+    )
+    serve.add_argument(
         "--check", action="store_true",
         help="audit the WAL after the run: exit non-zero unless every "
-        "accepted event applied or quarantined exactly once",
+        "accepted event applied or quarantined exactly once (with "
+        "--read-mix, also assert reads were served from committed epochs)",
     )
     serve.add_argument(
         "--chaos", action="store_true",
@@ -953,6 +1108,49 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--format", choices=("table", "json"), default="table")
     serve.set_defaults(fn=_cmd_serve)
+
+    query = sub.add_parser(
+        "query",
+        help="answer point/batch/neighbourhood/why-not MIS queries against "
+        "a maintainer checkpoint through the epoch snapshot read path",
+    )
+    query.add_argument("checkpoint",
+                       help="maintainer checkpoint (JSON) to serve from")
+    query.add_argument(
+        "--vertex", action="append", type=int, metavar="V",
+        help="point membership query (repeatable)",
+    )
+    query.add_argument(
+        "--batch", metavar="V1,V2,...",
+        help="comma-separated vertex ids for one vectorized batch lookup",
+    )
+    query.add_argument(
+        "--neighborhood", type=int, default=None, metavar="V",
+        help="list the maintained set within --hops of V",
+    )
+    query.add_argument(
+        "--hops", type=int, default=1,
+        help="neighbourhood radius (default: 1)",
+    )
+    query.add_argument(
+        "--why-not", dest="why_not", type=int, default=None, metavar="V",
+        help="membership certificate: the ≺-smaller in-set neighbour "
+        "blocking V, or confirmation that V is a member",
+    )
+    query.add_argument(
+        "--workers", type=int, default=None,
+        help="worker count (must match the checkpoint's partitioning)",
+    )
+    query.add_argument(
+        "--runtime", choices=("inline", "process"), default="inline",
+    )
+    query.add_argument("--procs", type=int, default=None, metavar="N")
+    query.add_argument(
+        "--representation", choices=("dict", "csr"), default=None,
+    )
+    query.add_argument("--format", choices=("table", "json"),
+                       default="table")
+    query.set_defaults(fn=_cmd_query)
 
     rebalance = sub.add_parser(
         "rebalance",
@@ -1099,6 +1297,16 @@ def main(argv: Optional[List[str]] = None) -> int:
             parser.error("--checkpoint-every needs --checkpoint PATH")
     if args.command == "generate" and args.model == "dataset" and not args.dataset:
         parser.error("generate dataset needs --dataset TAG")
+    if args.command == "serve" and not args.chaos:
+        if not 0.0 <= args.read_mix < 1.0:
+            parser.error("--read-mix must be in [0, 1)")
+        if args.read_batch < 1:
+            parser.error("--read-batch must be >= 1")
+    if args.command == "query":
+        if (not args.vertex and not args.batch
+                and args.neighborhood is None and args.why_not is None):
+            parser.error("query needs at least one of --vertex, --batch, "
+                         "--neighborhood, --why-not")
     try:
         return args.fn(args)
     except ReproError as exc:

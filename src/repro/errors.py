@@ -266,6 +266,15 @@ class WorkloadError(ReproError):
     """Raised when an update workload cannot be generated as requested."""
 
 
+class QueryError(ReproError):
+    """Raised by the read path when a query cannot be answered.
+
+    Covers querying an unknown vertex for a neighbourhood or why-not
+    certificate, reading from a closed snapshot registry, and asking for
+    an epoch that was never published.
+    """
+
+
 class VerificationError(ReproError):
     """Raised when a computed result violates a checked invariant."""
 

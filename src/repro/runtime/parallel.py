@@ -233,6 +233,11 @@ def _worker_sweep_pregel(host, program, groups, superstep, inbox, prev_agg):
     return (per_lw, compute_work, results)
 
 
+#: per-worker retained snapshot read views (pinned epoch segments); small
+#: because the serve loop reads the newest epoch — older mappings age out
+_READER_VIEW_CACHE = 4
+
+
 def _worker_main(conn) -> None:
     """Entry point of one persistent worker process (spawn-importable)."""
     graph = None
@@ -241,10 +246,15 @@ def _worker_main(conn) -> None:
     program = None
     #: mapped shared-memory CSR frame (array-native sweeps), if any
     csr_view = None
+    #: snapshot read views keyed by segment name, LRU order (oldest first)
+    reader_views: Dict[str, Any] = {}
 
     def _drop_view():
         if csr_view is not None:
             csr_view.close()
+        for name in sorted(reader_views):
+            reader_views[name].close()
+        reader_views.clear()
 
     while True:
         try:
@@ -290,6 +300,23 @@ def _worker_main(conn) -> None:
                     )
                 payload = _csr.worker_sweep(csr_view, active_idx, cfg)
                 reply = ("ok", payload, None)
+            elif kind == "csr_read":
+                # membership batch against a *pinned* epoch segment: map
+                # it zero-copy (cached per name), gather the bitmap rows,
+                # reply with one bool array — no per-query objects
+                _, meta, rows = msg
+                from repro.graph import csr as _csr
+
+                seg_name = meta[0]
+                view = reader_views.pop(seg_name, None)
+                if view is None:
+                    view = _csr.WorkerCSRView(meta)
+                reader_views[seg_name] = view  # most recently used last
+                while len(reader_views) > _READER_VIEW_CACHE:
+                    reader_views.pop(
+                        next(iter(reader_views))
+                    ).close()
+                reply = ("ok", view.in_[rows])
             elif kind == "sweep":
                 _, mode, superstep, prologue, groups, extra, draw_slice = msg
                 if prologue is not None:
@@ -380,6 +407,8 @@ class ParallelRuntime(ExecutionBackend):
         self.frame_bytes_sent = 0
         self.frame_bytes_received = 0
         self.sweeps_dispatched = 0
+        #: snapshot read batches dispatched to workers (round-robin)
+        self.reads_dispatched = 0
 
     @property
     def start_method(self) -> str:
@@ -408,6 +437,25 @@ class ParallelRuntime(ExecutionBackend):
         self.frame_bytes_sent = 0
         self.frame_bytes_received = 0
         self.sweeps_dispatched = 0
+        self.reads_dispatched = 0
+
+    # -- snapshot reads --------------------------------------------------
+    def read_membership(self, meta, rows):
+        """Gather membership bits for ``rows`` from a pinned epoch frame
+        inside a worker process.
+
+        ``meta`` is the frame meta returned by
+        :meth:`~repro.graph.csr.CSRPartition.pin_shared`; ``rows`` is an
+        integer array of row indices.  One frame goes down (meta + rows),
+        one bool array comes back; the worker maps the segment zero-copy
+        and caches the mapping per segment name.  Batches round-robin
+        across the pool so reads share capacity with maintenance sweeps.
+        """
+        self._ensure_workers(full_init=False)
+        p = self.reads_dispatched % len(self._conns)
+        self.reads_dispatched += 1
+        self._send(p, self._conns[p], ("csr_read", meta, rows))
+        return self._recv_ok(p)[1]
 
     # -- lifecycle ------------------------------------------------------
     def bind(self, engine) -> None:

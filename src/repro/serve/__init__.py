@@ -4,6 +4,10 @@ The :class:`IngestionService` wraps a checkpointable maintainer with a
 write-ahead log + crash recovery, admission control/backpressure,
 retry-with-quarantine for poison windows, and adaptive windowing.  See
 DESIGN.md §13 for the architecture and the WAL format.
+
+The read path (:mod:`repro.serve.reads`, DESIGN.md §15) publishes an
+immutable epoch-tagged snapshot at every committed window and answers
+point/batch/neighbourhood/why-not queries against it.
 """
 
 from repro.serve.admission import (
@@ -16,6 +20,11 @@ from repro.serve.controller import (
     AdaptiveWindowController,
     FixedWindowController,
     WindowConfig,
+)
+from repro.serve.reads import (
+    EpochSnapshot,
+    QueryEngine,
+    SnapshotRegistry,
 )
 from repro.serve.service import (
     DEAD_LETTER_NAME,
@@ -45,15 +54,18 @@ __all__ = [
     "AdmissionController",
     "AdmissionStats",
     "DEAD_LETTER_NAME",
+    "EpochSnapshot",
     "FSYNC_POLICIES",
     "FixedWindowController",
     "IngestionService",
     "LOGICAL_METERS",
     "POISON_ID_GAP",
     "POLICIES",
+    "QueryEngine",
     "RetryPolicy",
     "ScanResult",
     "ServeStats",
+    "SnapshotRegistry",
     "SubmitResult",
     "TraceConfig",
     "WALRecord",

@@ -201,6 +201,7 @@ class IngestionService:
         autoscale=None,
         target_utilization: Optional[float] = None,
         balancer: Optional[LoadBalancer] = None,
+        serve_reads: bool = False,
         _recovered: Optional[_RecoveredState] = None,
     ):
         if checkpoint_every < 0:
@@ -242,6 +243,19 @@ class IngestionService:
         self._records_seen = 0
         self._consulted_work = 0
         self._consulted_active = 0
+        # epoch-consistent read path: a snapshot registry publishing at
+        # every committed window, and a query engine answering against the
+        # newest epoch (see repro.serve.reads).  Staleness is measured
+        # against the ingress frontier — the last *accepted* sequence id.
+        self.reads = None
+        self.query_engine = None
+        if serve_reads:
+            from repro.serve.reads import QueryEngine, SnapshotRegistry
+
+            self.reads = SnapshotRegistry(
+                maintainer, frontier_fn=lambda: self._next_seq - 1
+            )
+            self.query_engine = QueryEngine(self.reads)
         if _recovered is None:
             self.wal = WriteAheadLog(
                 wal_dir, segment_bytes=segment_bytes, fsync=fsync
@@ -260,6 +274,7 @@ class IngestionService:
             self._clock = 0.0
             # the recovery floor: every service is recoverable from birth
             self.checkpoint()
+            self._publish_epoch()
         else:
             self.wal = _recovered.wal
             self._next_seq = _recovered.next_seq
@@ -427,10 +442,70 @@ class IngestionService:
         self._applied_watermark = last
         self._window_seqs = []
         self._attempts = 0
+        # readers switch to the just-committed window's epoch before
+        # anything else observes the commit
+        self._publish_epoch()
         if (self.checkpoint_every
                 and self.windows_committed % self.checkpoint_every == 0):
             self.checkpoint()
         self._consult_autoscale()
+
+    # ------------------------------------------------------------------
+    # epoch-consistent reads
+    # ------------------------------------------------------------------
+    def _publish_epoch(self) -> None:
+        """Publish the current committed state as a read epoch.
+
+        Epoch ids are the committed-window count — derived from the WAL,
+        so they are strictly monotonic within a service lifetime *and*
+        stable across crash/recover (a recovered service resumes at the
+        replayed window count, never reusing or skipping an epoch id).
+        """
+        if self.reads is None:
+            return
+        latest = self.reads.latest()
+        if latest is not None and latest.epoch == self.windows_committed:
+            return
+        self.reads.publish(
+            epoch=self.windows_committed,
+            watermark=self._applied_watermark,
+        )
+
+    def _require_reads(self):
+        if self.query_engine is None:
+            raise WorkloadError(
+                "read path disabled — construct the service with "
+                "serve_reads=True"
+            )
+        return self.query_engine
+
+    def query_point(self, vertex: int) -> Dict[str, Any]:
+        """Point membership at the last committed epoch."""
+        return self._require_reads().point(vertex)
+
+    def query_batch(self, vertices, offload: bool = False) -> Dict[str, Any]:
+        """Vectorized batch membership at the last committed epoch.
+
+        ``offload=True`` routes the gather through the maintainer's
+        process runtime (zero-copy worker-side read) when the snapshot is
+        shared-memory backed; otherwise the in-process pass answers.
+        """
+        runtime = None
+        if offload:
+            runtime = getattr(self.maintainer, "runtime", None)
+            if not hasattr(runtime, "read_membership"):
+                runtime = None
+        return self._require_reads().batch(vertices, runtime=runtime)
+
+    def query_neighborhood(self, vertex: int, hops: int = 1) -> Dict[str, Any]:
+        """In-set vertices within ``hops`` of ``vertex`` at the last
+        committed epoch."""
+        return self._require_reads().neighborhood(vertex, hops=hops)
+
+    def query_why_not(self, vertex: int) -> Dict[str, Any]:
+        """Membership certificate (blocking ≺-smaller in-set neighbour
+        for a non-member) at the last committed epoch."""
+        return self._require_reads().why_not(vertex)
 
     # ------------------------------------------------------------------
     # elastic membership + autoscaling
@@ -613,6 +688,8 @@ class IngestionService:
 
     def _teardown(self) -> None:
         self._closed = True
+        if self.reads is not None:
+            self.reads.close()
         try:
             self.wal.close()
         finally:
@@ -653,6 +730,8 @@ class IngestionService:
         summary["controller"] = self.controller.as_dict()
         summary["session"] = self.session.totals()
         summary["logical_totals"] = self.logical_totals()
+        if self.query_engine is not None:
+            summary["reads"] = self.query_engine.read_stats()
         if self.autoscale is not None:
             last = (self.autoscale.decisions[-1]
                     if self.autoscale.decisions else None)
@@ -685,6 +764,7 @@ class IngestionService:
         close_maintainer: bool = True,
         autoscale=None,
         target_utilization: Optional[float] = None,
+        serve_reads: bool = False,
     ) -> "IngestionService":
         """Rebuild a crashed service from its log directory.
 
@@ -832,6 +912,7 @@ class IngestionService:
             close_maintainer=close_maintainer,
             autoscale=autoscale,
             target_utilization=target_utilization,
+            serve_reads=serve_reads,
             _recovered=recovered,
         )
         service._replay(recovered)
@@ -885,6 +966,10 @@ class IngestionService:
         self._consulted_work = self.totals["compute_work"]
         self._consulted_active = self.totals["active_vertices"]
         self._records_seen = len(self.maintainer.update_metrics.records)
+        # the read watermark survives WAL replay: the first post-recovery
+        # epoch is the replayed commit watermark, published before the
+        # uncommitted tail pumps any further windows
+        self._publish_epoch()
         for seq, op, ts in recovered.tail:
             self._queue.append((seq, op, ts))
         self._pump()

@@ -22,12 +22,14 @@ supersteps and sync, smaller windows bound staleness.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Set
+from typing import Callable, List, Optional, Set
 
 from repro.errors import WorkloadError
 from repro.graph.updates import EdgeUpdate
+from repro.util import percentile
+
+__all__ = ["StreamingSession", "WindowReport", "percentile"]
 
 
 @dataclass
@@ -347,14 +349,3 @@ class StreamingSession:
             "wall_time_p99_s": percentile(walls, 0.99),
             "max_pending": self.max_pending,
         }
-
-
-def percentile(sorted_values: Sequence[float], q: float) -> float:
-    """Nearest-rank percentile of an ascending-sorted sequence (0.0 when
-    empty — there is no latency to report before the first window)."""
-    if not sorted_values:
-        return 0.0
-    if not 0.0 < q <= 1.0:
-        raise WorkloadError(f"percentile q must be in (0, 1], got {q}")
-    rank = math.ceil(q * len(sorted_values))
-    return sorted_values[rank - 1]
